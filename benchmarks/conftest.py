@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the reproduced rows (run ``pytest benchmarks/ --benchmark-only -s``
+to see them).  Experiments are expensive, so each runs exactly once per
+benchmark via ``run_once``.
+"""
+
+import pytest
+
+#: scale used by the benchmark harness; "test" keeps a full table under
+#: a couple of minutes while preserving every reported shape
+BENCH_SCALE = "test"
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark *fn* with a single round (experiments are deterministic
+    and expensive; statistical repetition adds nothing)."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    return result
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_trace_cache():
+    """Interpret every workload once up front so per-benchmark timings
+    measure the experiment, not trace generation."""
+    from repro.experiments import load_traces
+
+    for suite_name in ("specint92", "specint95", "specfp95"):
+        load_traces(suite_name, BENCH_SCALE)
+    yield

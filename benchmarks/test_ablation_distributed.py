@@ -1,0 +1,89 @@
+"""Ablation: distributed MDPT/MDST copies (paper Section 4.4.5).
+
+The distributed organization trades broadcast traffic for local lookup
+bandwidth.  This bench replays each benchmark's synchronization
+protocol stream through the distributed structure and reports the
+broadcast/lookup ratio — the quantity that decides whether the
+organization is worthwhile.
+"""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.core import DistributedSynchronization
+from repro.experiments import ExperimentTable, load_traces
+from repro.multiscalar import MultiscalarConfig, MultiscalarSimulator
+from repro.multiscalar.policies import MechanismPolicy
+
+
+class DistributedMechanismPolicy(MechanismPolicy):
+    """The mechanism running over distributed table copies."""
+
+    def bind(self, sim):
+        SuperBind = super()
+        SuperBind.bind(sim)
+        # replace the centralized engine with the distributed facade,
+        # adapting the call signatures (the local stage is the task's)
+        stages = sim.config.stages
+        dist = DistributedSynchronization(
+            stages, capacity=self.capacity, predictor=self.predictor_name
+        )
+        policy = self
+
+        class _Adapter:
+            mdpt = dist.copies[0].mdpt
+            mdst = dist.copies[0].mdst
+
+            @staticmethod
+            def load_request(load_pc, instance, ldid, task_pc_of=None):
+                stage = policy.sim.trace[ldid].task_id % stages
+                return dist.load_request(stage, load_pc, instance, ldid, task_pc_of)
+
+            @staticmethod
+            def store_request(store_pc, instance, stid=None, task_pc=None):
+                stage = policy.sim.trace[stid].task_id % stages
+                return dist.store_request(stage, store_pc, instance, stid, task_pc)
+
+            @staticmethod
+            def release_load(ldid):
+                stage = policy.sim.trace[ldid].task_id % stages
+                return dist.release_load(stage, ldid)
+
+            record_mis_speculation = staticmethod(dist.record_mis_speculation)
+            squash = staticmethod(dist.squash)
+            reward_pair = staticmethod(dist.reward_pair)
+            penalize_pair = staticmethod(dist.penalize_pair)
+
+        self.engine = _Adapter()
+        self.distributed = dist
+
+
+def ablation_distributed(scale):
+    traces = load_traces("specint92", scale)
+    table = ExperimentTable(
+        "ablation-distributed",
+        "distributed vs centralized structures (8 stages, SYNC predictor)",
+        ["benchmark", "central_cycles", "dist_cycles", "broadcasts", "local_lookups"],
+    )
+    for name in sorted(traces):
+        central = MechanismPolicy(predictor="sync")
+        c_stats = MultiscalarSimulator(
+            traces[name], MultiscalarConfig(stages=8), central
+        ).run()
+        dist_policy = DistributedMechanismPolicy(predictor="sync")
+        d_stats = MultiscalarSimulator(
+            traces[name], MultiscalarConfig(stages=8), dist_policy
+        ).run()
+        dist = dist_policy.distributed
+        table.add_row(name, c_stats.cycles, d_stats.cycles, dist.broadcasts, dist.local_lookups)
+    return table
+
+
+def test_ablation_distributed(benchmark):
+    table = run_once(benchmark, ablation_distributed, BENCH_SCALE)
+    for row in table.rows:
+        name, central, dist, broadcasts, lookups = row
+        # the distributed organization is a bandwidth optimization: the
+        # timing must stay close to the centralized structure
+        assert abs(central - dist) <= 0.10 * max(central, dist) + 50, row
+        # broadcasts are a small fraction of local traffic
+        assert broadcasts <= lookups, row

@@ -1,0 +1,46 @@
+"""Ablation: predictor configuration (counter width / threshold /
+always-sync), paper Section 4.4.1.
+
+The always-sync predictor (the "optional field omitted" baseline)
+over-synchronizes path-dependent programs; wider counters adapt more
+slowly but resist transient noise.
+"""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import ExperimentTable, load_traces
+from repro.multiscalar import MultiscalarConfig, MultiscalarSimulator, make_policy
+
+CONFIGS = (
+    ("always-sync", {}),
+    ("sync", {"bits": 1, "threshold": 1}),
+    ("sync", {"bits": 3, "threshold": 3}),   # the paper's configuration
+    ("sync", {"bits": 4, "threshold": 8}),
+)
+
+
+def ablation_predictor(scale):
+    traces = load_traces("specint92", scale)
+    table = ExperimentTable(
+        "ablation-predictor",
+        "cycles by predictor configuration (4 stages)",
+        ["benchmark"] + ["%s%s" % (n, k.get("bits", "")) for n, k in CONFIGS],
+    )
+    for name in sorted(traces):
+        row = [name]
+        for policy_name, kwargs in CONFIGS:
+            policy = make_policy(policy_name, **kwargs)
+            sim = MultiscalarSimulator(
+                traces[name], MultiscalarConfig(stages=4), policy
+            )
+            row.append(sim.run().cycles)
+        table.add_row(*row)
+    return table
+
+
+def test_ablation_predictor(benchmark):
+    table = run_once(benchmark, ablation_predictor, BENCH_SCALE)
+    # the paper's 3-bit/threshold-3 configuration is never the worst
+    for row in table.rows:
+        cycles = row[1:]
+        assert cycles[2] <= max(cycles) + 1, row

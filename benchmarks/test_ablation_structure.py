@@ -1,0 +1,40 @@
+"""Ablation: combined MDPT/MDST (one sync slot per static dependence
+per stage, the paper's evaluated organization) versus a split MDST
+pool (Section 4's framework)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import ExperimentTable, load_traces
+from repro.multiscalar import MultiscalarConfig, MultiscalarSimulator, MechanismPolicy
+
+
+def ablation_structure(scale):
+    traces = load_traces("specint92", scale)
+    table = ExperimentTable(
+        "ablation-structure",
+        "unified vs split synchronization structure (8 stages)",
+        ["benchmark", "unified_cycles", "split_cycles", "unified_ms", "split_ms"],
+    )
+    for name in sorted(traces):
+        results = {}
+        for structure in ("unified", "split"):
+            policy = MechanismPolicy(predictor="esync", structure=structure)
+            sim = MultiscalarSimulator(
+                traces[name], MultiscalarConfig(stages=8), policy
+            )
+            results[structure] = sim.run()
+        table.add_row(
+            name,
+            results["unified"].cycles,
+            results["split"].cycles,
+            results["unified"].mis_speculations,
+            results["split"].mis_speculations,
+        )
+    return table
+
+
+def test_ablation_structure(benchmark):
+    table = run_once(benchmark, ablation_structure, BENCH_SCALE)
+    # the two organizations deliver comparable performance (within 15%)
+    for row in table.rows:
+        assert abs(row[1] - row[2]) <= 0.15 * max(row[1], row[2]) + 50, row

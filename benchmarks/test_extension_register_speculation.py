@@ -1,0 +1,55 @@
+"""Extension bench: register dependence speculation (paper Section 6).
+
+The paper suggests the proposed techniques apply to register
+dependences in multiple-program-counter models like Multiscalar.  This
+bench quantifies it on the two microbenchmarks that bound the design
+space: a rarely-updated cross-task register (speculation wins) and a
+serial pointer chase (blind speculation loses, prediction recovers).
+"""
+
+from conftest import run_once
+
+from repro.experiments import ExperimentTable
+from repro.multiscalar import MultiscalarConfig, simulate, make_policy
+from repro.workloads import get_workload
+
+MODES = ("conservative", "oracle", "always", "predict")
+KERNELS = ("micro-conditional-reg", "micro-pointer-chase", "micro-independent")
+
+
+def extension_register_speculation(scale):
+    table = ExperimentTable(
+        "extension-regspec",
+        "register dependence speculation modes (8 stages, cycles / reg-ms)",
+        ["benchmark"] + ["%s" % m for m in MODES] + ["ms(always)", "ms(predict)"],
+    )
+    for name in KERNELS:
+        trace = get_workload(name).trace(scale)
+        cycles = {}
+        regms = {}
+        for mode in MODES:
+            stats = simulate(
+                trace,
+                MultiscalarConfig(stages=8, register_speculation=mode),
+                make_policy("psync"),
+            )
+            cycles[mode] = stats.cycles
+            regms[mode] = stats.register_mis_speculations
+        table.add_row(
+            name,
+            cycles["conservative"],
+            cycles["oracle"],
+            cycles["always"],
+            cycles["predict"],
+            regms["always"],
+            regms["predict"],
+        )
+    return table
+
+
+def test_extension_register_speculation(benchmark):
+    table = run_once(benchmark, extension_register_speculation, "test")
+    row = table.row("micro-conditional-reg")
+    conservative, oracle, always, predict = row[1:5]
+    assert predict <= oracle * 1.1          # prediction ~ perfect knowledge
+    assert conservative > predict           # and beats no-speculation

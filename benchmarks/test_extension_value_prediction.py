@@ -1,0 +1,44 @@
+"""Extension bench: VSYNC — value-predict dependence-likely loads
+(paper Section 6's suggested combination of the two forms of data
+speculation)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import ExperimentTable, load_traces
+from repro.multiscalar import MultiscalarConfig, MultiscalarSimulator, make_policy
+from repro.workloads import get_workload
+
+
+def extension_value_prediction(scale):
+    table = ExperimentTable(
+        "extension-vsync",
+        "ESYNC vs VSYNC vs PSYNC cycles (8 stages); vms = value mis-speculations",
+        ["benchmark", "ESYNC", "VSYNC", "PSYNC", "vms"],
+    )
+    names = sorted(load_traces("specint92", scale)) + ["micro-recurrence-d1"]
+    for name in names:
+        trace = get_workload(name).trace(scale)
+        row = [name]
+        vms = 0
+        for policy_name in ("esync", "vsync", "psync"):
+            sim = MultiscalarSimulator(
+                trace, MultiscalarConfig(stages=8), make_policy(policy_name)
+            )
+            stats = sim.run()
+            row.append(stats.cycles)
+            if policy_name == "vsync":
+                vms = stats.value_mis_speculations
+        row.append(vms)
+        table.add_row(*row)
+    return table
+
+
+def test_extension_value_prediction(benchmark):
+    table = run_once(benchmark, extension_value_prediction, BENCH_SCALE)
+    # value prediction breaks the dataflow limit on the stride kernel
+    row = table.row("micro-recurrence-d1")
+    assert row[2] < row[3]  # VSYNC < PSYNC
+    # and never catastrophically hurts the SPECint92-like suite
+    for row in table.rows:
+        esync, vsync = row[1], row[2]
+        assert vsync <= esync * 1.25 + 50, row

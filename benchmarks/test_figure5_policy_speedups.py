@@ -1,0 +1,20 @@
+"""Figure 5: NEVER / ALWAYS / WAIT / PSYNC policy comparison."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import figure5_policy_speedups
+
+
+def test_figure5_policy_speedups(benchmark):
+    table = run_once(benchmark, figure5_policy_speedups, BENCH_SCALE)
+    # paper shapes
+    for row in table.rows:
+        stages, name, _ipc, always, wait, psync = row
+        assert psync >= always - 1.0, row       # ideal >= blind
+        if name == "compress":
+            assert wait < always, row           # Figure 1(d) pathology
+    # the PSYNC-ALWAYS gap grows with the window size
+    gap = {4: 0.0, 8: 0.0}
+    for row in table.rows:
+        gap[row[0]] += row[5] - row[3]
+    assert gap[8] > gap[4]

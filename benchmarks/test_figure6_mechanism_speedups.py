@@ -1,0 +1,15 @@
+"""Figure 6: SYNC / ESYNC / PSYNC speedups over blind speculation."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import figure6_mechanism_speedups
+
+
+def test_figure6_mechanism_speedups(benchmark):
+    table = run_once(benchmark, figure6_mechanism_speedups, BENCH_SCALE)
+    for row in table.rows:
+        _stages, name, _ipc, sync, esync, psync = row
+        assert esync >= sync - 1.0, row     # ESYNC never loses to SYNC
+        assert esync <= psync + 2.0, row    # bounded by the ideal
+        if name == "compress":
+            assert esync > sync + 5.0, row  # the path-dependence payoff

@@ -1,0 +1,15 @@
+"""Figure 7: SPEC95 speedups over ALWAYS on an 8-stage Multiscalar."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import figure7_spec95_speedups
+
+
+def test_figure7_spec95_speedups(benchmark):
+    table = run_once(benchmark, figure7_spec95_speedups, BENCH_SCALE)
+    assert len(table.rows) == 18
+    for name in ("swim", "mgrid", "turb3d"):
+        assert abs(table.cell(name, "ESYNC")) < 3.0, name   # nothing to gain
+    for name in ("su2cor", "fpppp"):
+        gap = table.cell(name, "PSYNC") - table.cell(name, "ESYNC")
+        assert gap > 3.0, name                              # falls short of ideal

@@ -1,0 +1,11 @@
+"""Table 1: dynamic committed instruction counts per benchmark."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import table1_instruction_counts
+
+
+def test_table1_instruction_counts(benchmark):
+    table = run_once(benchmark, table1_instruction_counts, BENCH_SCALE)
+    assert len(table.rows) == 23
+    assert all(count > 0 for count in table.column("instructions"))

@@ -1,0 +1,13 @@
+"""Table 2: functional-unit latencies (the simulated configuration)."""
+
+from conftest import run_once
+
+from repro.experiments import table2_fu_latencies
+
+
+def test_table2_configuration(benchmark):
+    table = run_once(benchmark, table2_fu_latencies)
+    assert len(table.rows) == 12
+    latency = dict(zip(table.column("functional unit"), table.column("latency (cycles)")))
+    assert latency["simple-int"] < latency["complex-int"]
+    assert latency["fp-div-sp"] < latency["fp-div-dp"]

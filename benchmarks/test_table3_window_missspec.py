@@ -1,0 +1,14 @@
+"""Table 3: unrealistic OoO model — mis-speculations vs window size."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import table3_window_missspec
+
+
+def test_table3_window_missspec(benchmark):
+    table = run_once(benchmark, table3_window_missspec, BENCH_SCALE)
+    # paper shape: counts grow (weakly) with the window for every benchmark
+    for name in table.columns[1:]:
+        counts = table.column(name)
+        assert counts == sorted(counts), name
+        assert counts[-1] > 0, name

@@ -1,0 +1,12 @@
+"""Table 4: static dependences covering 99.9% of mis-speculations."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import table4_static_coverage
+
+
+def test_table4_static_coverage(benchmark):
+    table = run_once(benchmark, table4_static_coverage, BENCH_SCALE)
+    # paper shape: the dominating static pairs stay few even at WS=512
+    widest = table.rows[-1]
+    assert all(pairs <= 200 for pairs in widest[1:])

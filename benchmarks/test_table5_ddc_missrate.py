@@ -1,0 +1,13 @@
+"""Table 5: DDC miss rates under the unrealistic OoO model."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import table5_ddc_missrate
+
+
+def test_table5_ddc_missrate(benchmark):
+    table = run_once(benchmark, table5_ddc_missrate, BENCH_SCALE)
+    # paper shape: a 512-entry DDC captures nearly all dependences
+    biggest = [row for row in table.rows if row[1] == 512]
+    for row in biggest:
+        assert all(rate <= 15.0 for rate in row[2:]), row

@@ -1,0 +1,11 @@
+"""Table 6: Multiscalar mis-speculations under blind speculation."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import table6_multiscalar_missspec
+
+
+def test_table6_multiscalar_missspec(benchmark):
+    table = run_once(benchmark, table6_multiscalar_missspec, BENCH_SCALE)
+    assert sum(table.rows[0][1:]) > 0
+    assert sum(table.rows[1][1:]) > 0

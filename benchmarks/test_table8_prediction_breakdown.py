@@ -1,0 +1,16 @@
+"""Table 8: dependence-prediction breakdown for SYNC and ESYNC."""
+
+import pytest
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import table8_prediction_breakdown
+
+
+def test_table8_prediction_breakdown(benchmark):
+    table = run_once(benchmark, table8_prediction_breakdown, BENCH_SCALE)
+    # percentages are well-formed per benchmark and predictor
+    for predictor in ("SYNC", "ESYNC"):
+        for name in table.columns[2:]:
+            idx = list(table.columns).index(name)
+            total = sum(r[idx] for r in table.rows if r[0] == predictor)
+            assert total == pytest.approx(100.0, abs=1.0)

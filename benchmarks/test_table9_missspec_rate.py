@@ -1,0 +1,15 @@
+"""Table 9: mis-speculations per committed load, base vs mechanism."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import table9_missspec_rates
+
+
+def test_table9_missspec_rate(benchmark):
+    table = run_once(benchmark, table9_missspec_rates, BENCH_SCALE)
+    # paper shape: the mechanism cuts the rate by about an order of
+    # magnitude at both window sizes
+    for stages in (4, 8):
+        always = [r for r in table.rows if r[0] == stages and r[1] == "ALWAYS"][0]
+        mech = [r for r in table.rows if r[0] == stages and r[1] != "ALWAYS"][0]
+        assert sum(mech[2:]) * 5 <= sum(always[2:]) + 1e-9

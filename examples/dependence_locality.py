@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Characterize the dynamic behaviour of memory dependences (paper
+Section 5.3) for one workload.
+
+Reproduces, for a single benchmark, the three observations the paper's
+Tables 3-5 establish across the suite:
+
+1. the number of mis-speculations grows with the instruction window;
+2. few static store/load pairs cause most mis-speculations;
+3. a Data Dependence Cache of moderate size captures them (temporal
+   locality).
+
+Run:
+    python examples/dependence_locality.py [workload] [scale]
+    python examples/dependence_locality.py compress test
+"""
+
+import sys
+
+from repro.oracle import (
+    PAPER_WINDOW_SIZES,
+    analyze_window,
+    simulate_ddc_sizes,
+)
+from repro.workloads import get_workload
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "compress"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "test"
+    workload = get_workload(name)
+    trace = workload.trace(scale)
+    print("workload: %s (%s) — %s" % (name, workload.suite, workload.description))
+    print("trace:", trace.summary())
+
+    print("\nWS    mis-specs   static-pairs   pairs@99.9%")
+    results = {}
+    for ws in PAPER_WINDOW_SIZES:
+        r = analyze_window(trace, ws)
+        results[ws] = r
+        print(
+            "%-5d %9d   %12d   %11d"
+            % (ws, r.mis_speculations, r.static_pairs, r.pairs_for_coverage())
+        )
+
+    widest = results[PAPER_WINDOW_SIZES[-1]]
+    if not widest.events:
+        print("\nno dependences visible — nothing for a DDC to cache")
+        return
+    print("\nDDC miss rates over the WS=%d stream:" % widest.window_size)
+    for size, result in sorted(simulate_ddc_sizes(widest.events, (8, 32, 128, 512)).items()):
+        print("  %4d entries: %6.2f%%" % (size, result.miss_rate_percent))
+    print(
+        "\nThe miss rate collapses at modest capacities: the dependences"
+        "\nthat matter are few and exhibit temporal locality — the paper's"
+        "\njustification for a small hardware MDPT."
+    )
+
+
+if __name__ == "__main__":
+    main()

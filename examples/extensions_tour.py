@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Tour of the Section 6 extensions.
+
+The paper closes with directions for future work; this repository
+implements three of them plus the mechanism that historically followed.
+The tour demonstrates each on the microbenchmark built to isolate it:
+
+1. register dependence speculation on a rarely-updated cross-task
+   register;
+2. VSYNC — value prediction for dependence-likely loads — on a
+   stride-predictable memory recurrence (it beats even perfect
+   synchronization);
+3. store sets (Chrysos & Emer, ISCA 1998) against ESYNC on compress
+   and xlisp, where the two mechanisms' strengths differ.
+
+Run:
+    python examples/extensions_tour.py [scale]
+"""
+
+import sys
+
+from repro.multiscalar import MultiscalarConfig, simulate, make_policy
+from repro.workloads import get_workload
+
+
+def banner(text):
+    print("\n" + "=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main():
+    scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+
+    banner("1. register dependence speculation (micro-conditional-reg)")
+    trace = get_workload("micro-conditional-reg").trace(scale)
+    for mode in ("conservative", "predict", "oracle"):
+        stats = simulate(
+            trace,
+            MultiscalarConfig(stages=8, register_speculation=mode),
+            make_policy("psync"),
+        )
+        print(
+            "  %-13s %6d cycles  IPC %.2f  register mis-speculations %d"
+            % (mode, stats.cycles, stats.ipc, stats.register_mis_speculations)
+        )
+    print(
+        "  conservative forwarding stalls every consumer until the path\n"
+        "  resolves; prediction speculates and recovers oracle performance."
+    )
+
+    banner("2. VSYNC: value-predict dependence-likely loads (micro-recurrence-d1)")
+    trace = get_workload("micro-recurrence-d1").trace(scale)
+    for policy in ("esync", "psync", "vsync"):
+        stats = simulate(trace, MultiscalarConfig(stages=8), make_policy(policy))
+        print(
+            "  %-7s %6d cycles  IPC %.2f  value mis-speculations %d"
+            % (policy.upper(), stats.cycles, stats.ipc, stats.value_mis_speculations)
+        )
+    print(
+        "  the recurrence value advances by a fixed stride: the value\n"
+        "  predictor removes the wait entirely — beating the dataflow\n"
+        "  limit that bounds PSYNC."
+    )
+
+    banner("3. MDPT/MDST (1997) vs store sets (1998)")
+    for name in ("compress", "xlisp"):
+        trace = get_workload(name).trace(scale)
+        line = "  %-9s" % name
+        for policy in ("always", "esync", "storeset", "psync"):
+            stats = simulate(trace, MultiscalarConfig(stages=8), make_policy(policy))
+            line += "  %s=%d" % (policy.upper(), stats.cycles)
+        print(line)
+    print(
+        "  store sets avoid ESYNC's distance mis-tagging (compress) but\n"
+        "  merge xlisp's two allocation arenas into one set, serializing\n"
+        "  loads against the wrong arena's stores."
+    )
+
+
+if __name__ == "__main__":
+    main()

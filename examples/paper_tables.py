@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Regenerate any of the paper's tables/figures from the command line.
+
+Run:
+    python examples/paper_tables.py                  # list experiments
+    python examples/paper_tables.py table3           # one experiment
+    python examples/paper_tables.py figure6 test     # choose the scale
+    python examples/paper_tables.py all tiny         # everything (slow)
+"""
+
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        print("available experiments:")
+        for key, fn in sorted(ALL_EXPERIMENTS.items()):
+            title = (fn.__doc__ or "").strip().splitlines()[0]
+            print("  %-9s %s" % (key, title))
+        return
+
+    which = sys.argv[1]
+    scale = sys.argv[2] if len(sys.argv) > 2 else "test"
+    keys = sorted(ALL_EXPERIMENTS) if which == "all" else [which]
+    for key in keys:
+        if key not in ALL_EXPERIMENTS:
+            raise SystemExit("unknown experiment %r (try: %s)" % (key, ", ".join(sorted(ALL_EXPERIMENTS))))
+        table = ALL_EXPERIMENTS[key](scale)
+        print(table.to_text())
+        print()
+
+
+if __name__ == "__main__":
+    main()

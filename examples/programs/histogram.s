@@ -1,0 +1,30 @@
+# A histogram kernel in repro assembly: every iteration loads a sample
+# (read-only), computes a bucket address from the sample value, and
+# increments the bucket — a data-dependent-address recurrence whose
+# conflicts are irregular, like the symbol-table updates in gcc.
+#
+# Run it with:  python examples/run_assembly.py examples/programs/histogram.s
+
+.name histogram
+
+# sample data: 24 values in 0..15
+.word 0x2000 3 7 1 15 4 7 2 9 11 7 0 5 3 8 13 7 2 6 10 1 12 7 4 9
+
+    li   s1, 0x2000        # samples base
+    li   s2, 0x3000        # buckets base (16 words)
+    li   s3, 0
+    li   s4, 24
+
+loop:
+    .task                  # one Multiscalar task per sample
+    addi s3, s3, 1
+    addi s1, s1, 4
+    lw   t0, -4(s1)        # sample (read-only)
+    andi t1, t0, 15
+    sll  t1, t1, 2
+    add  a1, s2, t1        # &buckets[sample & 15]
+    lw   t2, 0(a1)         # bucket load: irregular cross-task dependence
+    addi t2, t2, 1
+    sw   t2, 0(a1)         # bucket store
+    blt  s3, s4, loop
+    halt

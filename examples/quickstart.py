@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: assemble a program, trace it, and compare speculation
+policies on a Multiscalar processor.
+
+The program below is a tiny accumulator loop with a loop-carried memory
+dependence: every iteration (one Multiscalar task) loads a total that
+the previous iteration stored.  Blind speculation (ALWAYS) repeatedly
+mis-speculates that load; the paper's MDPT/MDST mechanism (ESYNC) learns
+the offending store/load pair after the first squash and synchronizes
+every later instance.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.frontend import run_program
+from repro.isa import Assembler
+from repro.multiscalar import MultiscalarConfig, simulate, make_policy
+
+
+def build_program(iterations=200):
+    a = Assembler("quickstart")
+    a.li("s1", 0x1000)           # &total
+    a.li("s2", 0x2000)           # &samples[0]
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    for i in range(iterations):
+        a.word(0x2000 + 4 * i, (i * 7) % 100)
+
+    a.label("loop")
+    a.task_begin()               # one Multiscalar task per iteration
+    a.addi("s3", "s3", 1)
+    a.addi("s2", "s2", 4)
+    a.lw("t0", "s2", -4)         # sample (no cross-task dependence)
+    a.sll("t1", "t0", 1)
+    a.addi("t1", "t1", 3)        # some independent work
+    a.lw("t2", "s1", 0)          # total: depends on the previous task!
+    a.add("t2", "t2", "t1")
+    a.sw("t2", "s1", 0)          # total update
+    a.blt("s3", "s4", "loop")
+    a.halt()
+    return a.assemble()
+
+
+def main():
+    program = build_program()
+    trace = run_program(program)
+    print("trace:", trace.summary())
+
+    config = MultiscalarConfig(stages=4)
+    print("\n%-8s %8s %6s %14s %10s" % ("policy", "cycles", "IPC", "mis-specs", "squashed"))
+    for name in ("never", "always", "esync", "psync"):
+        stats = simulate(trace, config, make_policy(name))
+        print(
+            "%-8s %8d %6.2f %14d %10d"
+            % (
+                name.upper(),
+                stats.cycles,
+                stats.ipc,
+                stats.mis_speculations,
+                stats.squashed_instructions,
+            )
+        )
+    print(
+        "\nALWAYS squashes once per task; ESYNC learns the (store,load) pair"
+        "\nafter the first mis-speculation and synchronizes the rest — its"
+        "\nmis-speculation count collapses and its cycle count approaches PSYNC."
+    )
+
+
+if __name__ == "__main__":
+    main()

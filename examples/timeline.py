@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Visualize how mis-speculation squashes execution (text timeline).
+
+Runs a workload twice — blind speculation vs the ESYNC mechanism —
+with a TimelineRecorder attached, and renders a per-task execution
+timeline for the same window of tasks under both policies, so the
+squash/re-execution cost and the synchronization benefit are visible
+side by side.
+
+Run:
+    python examples/timeline.py [workload] [first_task] [scale]
+    python examples/timeline.py sc 40 tiny
+"""
+
+import sys
+
+from repro.multiscalar import (
+    MultiscalarConfig,
+    MultiscalarSimulator,
+    TimelineRecorder,
+    make_policy,
+)
+from repro.workloads import get_workload
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "sc"
+    first_task = int(sys.argv[2]) if len(sys.argv) > 2 else 20
+    scale = sys.argv[3] if len(sys.argv) > 3 else "tiny"
+
+    trace = get_workload(name).trace(scale)
+    config = MultiscalarConfig(stages=4)
+
+    for policy_name in ("always", "esync"):
+        recorder = TimelineRecorder(make_policy(policy_name))
+        sim = MultiscalarSimulator(trace, config, recorder)
+        stats = sim.run()
+        print("=" * 72)
+        print(
+            "%s: %d cycles, IPC %.2f, %d mis-speculations"
+            % (policy_name.upper(), stats.cycles, stats.ipc, stats.mis_speculations)
+        )
+        print(recorder.render(sim, first_task=first_task, last_task=first_task + 9))
+        waits = recorder.load_wait_cycles(sim)
+        if waits:
+            avg = sum(waits.values()) / len(waits)
+            print("mean load first-attempt-to-completion: %.1f cycles" % avg)
+        print()
+
+
+if __name__ == "__main__":
+    main()

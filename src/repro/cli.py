@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro``)::
+
+    repro workloads                          # list the synthetic suites
+    repro trace compress --scale test        # interpret + profile a workload
+    repro simulate sc --policy esync -n 8    # one timing simulation
+    repro compare compress -n 8              # all six policies side by side
+    repro experiment table3                  # regenerate a paper table
+    repro experiment all --scale tiny        # every table and figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.stats import speedup
+from repro.experiments import ALL_EXPERIMENTS
+from repro.frontend import analyze_trace
+from repro.multiscalar import MultiscalarConfig, MultiscalarSimulator, make_policy
+from repro.oracle import profile_dependences
+from repro.workloads import all_workloads, get_workload
+
+POLICIES = ("never", "always", "wait", "psync", "sync", "esync", "vsync", "storeset")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Dynamic Speculation and Synchronization "
+        "of Data Dependences' (Moshovos et al., ISCA 1997)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the synthetic workloads")
+
+    p_trace = sub.add_parser("trace", help="interpret a workload and profile it")
+    p_trace.add_argument("workload")
+    p_trace.add_argument("--scale", default="test")
+    p_trace.add_argument("--top", type=int, default=5, help="pairs to display")
+
+    p_sim = sub.add_parser("simulate", help="run one timing simulation")
+    p_sim.add_argument("workload")
+    p_sim.add_argument("--policy", default="esync", choices=POLICIES)
+    p_sim.add_argument("-n", "--stages", type=int, default=8)
+    p_sim.add_argument("--scale", default="test")
+
+    p_cmp = sub.add_parser("compare", help="compare all policies on a workload")
+    p_cmp.add_argument("workload")
+    p_cmp.add_argument("-n", "--stages", type=int, default=8)
+    p_cmp.add_argument("--scale", default="test")
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("which", help="'all' or one of: %s" % ", ".join(sorted(ALL_EXPERIMENTS)))
+    p_exp.add_argument("--scale", default="test")
+    p_exp.add_argument(
+        "--bars",
+        metavar="COLUMN",
+        help="additionally render COLUMN as a text bar chart",
+    )
+    return parser
+
+
+def cmd_workloads(_args) -> int:
+    print("%-12s %-10s %s" % ("name", "suite", "description"))
+    for workload in all_workloads():
+        print("%-12s %-10s %s" % (workload.name, workload.suite, workload.description))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    trace = get_workload(args.workload).trace(args.scale)
+    print("summary:", trace.summary())
+    analysis = analyze_trace(trace)
+    print("dynamics:", analysis.summary())
+    mix = analysis.mix_percentages()
+    print(
+        "mix: "
+        + "  ".join("%s %.1f%%" % (cls, pct) for cls, pct in list(mix.items())[:5])
+    )
+    profile = profile_dependences(trace)
+    print("dependences:", profile.summary())
+    top = profile.top_pairs(args.top)
+    if top:
+        print("\nhottest static dependence pairs:")
+        print("%-10s %-10s %8s %6s %10s" % ("store PC", "load PC", "count", "DIST", "stability"))
+        for pair in top:
+            print(
+                "%-10d %-10d %8d %6d %9.0f%%"
+                % (
+                    pair.store_pc,
+                    pair.load_pc,
+                    pair.dynamic_count,
+                    pair.modal_task_distance,
+                    100 * pair.distance_stability(),
+                )
+            )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    trace = get_workload(args.workload).trace(args.scale)
+    policy = make_policy(args.policy)
+    sim = MultiscalarSimulator(trace, MultiscalarConfig(stages=args.stages), policy)
+    stats = sim.run()
+    print(
+        "%s on %d stages under %s:"
+        % (args.workload, args.stages, args.policy.upper())
+    )
+    for key, value in stats.summary().items():
+        print("  %-24s %s" % (key, value))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    trace = get_workload(args.workload).trace(args.scale)
+    config = MultiscalarConfig(stages=args.stages)
+    results = {}
+    for name in POLICIES:
+        sim = MultiscalarSimulator(trace, config, make_policy(name))
+        results[name] = sim.run()
+    base = results["never"]
+    print(
+        "%s, %d stages (%d instructions, %d tasks)"
+        % (args.workload, args.stages, len(trace), trace.count_tasks())
+    )
+    print("%-8s %8s %6s %10s %6s" % ("policy", "cycles", "IPC", "vs NEVER", "ms"))
+    for name in POLICIES:
+        stats = results[name]
+        print(
+            "%-8s %8d %6.2f %9.1f%% %6d"
+            % (name.upper(), stats.cycles, stats.ipc, speedup(base, stats), stats.mis_speculations)
+        )
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    keys = sorted(ALL_EXPERIMENTS) if args.which == "all" else [args.which]
+    for key in keys:
+        if key not in ALL_EXPERIMENTS:
+            print(
+                "unknown experiment %r (expected 'all' or one of: %s)"
+                % (key, ", ".join(sorted(ALL_EXPERIMENTS))),
+                file=sys.stderr,
+            )
+            return 2
+        table = ALL_EXPERIMENTS[key](args.scale)
+        print(table.to_text())
+        if getattr(args, "bars", None):
+            try:
+                print()
+                print(table.to_bars(args.bars))
+            except ValueError:
+                print("(column %r not in %s)" % (args.bars, key), file=sys.stderr)
+        print()
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "workloads": cmd_workloads,
+        "trace": cmd_trace,
+        "simulate": cmd_simulate,
+        "compare": cmd_compare,
+        "experiment": cmd_experiment,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""The paper's contribution: memory dependence prediction + synchronization."""
+
+from repro.core.distributed import DistributedSynchronization
+from repro.core.engine import LoadRequestResult, SynchronizationEngine
+from repro.core.mdpt import MDPT, MDPTEntry
+from repro.core.mdst import MDST, MDSTEntry
+from repro.core.predictors import (
+    AlwaysSyncPredictor,
+    CounterPredictor,
+    CounterState,
+    DependencePredictor,
+    PathSensitivePredictor,
+    make_predictor,
+)
+from repro.core.stats import PredictionBreakdown, SpeculationStats, speedup
+from repro.core.store_sets import StoreSetPredictor
+from repro.core.unified import SlottedMDST, make_unified_engine
+from repro.core.value_prediction import (
+    LastValuePredictor,
+    StridePredictor,
+    make_value_predictor,
+)
+
+__all__ = [
+    "AlwaysSyncPredictor",
+    "DistributedSynchronization",
+    "CounterPredictor",
+    "CounterState",
+    "DependencePredictor",
+    "LastValuePredictor",
+    "LoadRequestResult",
+    "MDPT",
+    "MDPTEntry",
+    "MDST",
+    "MDSTEntry",
+    "PathSensitivePredictor",
+    "PredictionBreakdown",
+    "SlottedMDST",
+    "SpeculationStats",
+    "StoreSetPredictor",
+    "StridePredictor",
+    "make_value_predictor",
+    "SynchronizationEngine",
+    "make_predictor",
+    "make_unified_engine",
+    "speedup",
+]

@@ -1,0 +1,194 @@
+"""The synchronization engine: MDPT + MDST protocol of paper Figure 4.
+
+This module drives the two tables through the paper's working example:
+
+* a load about to access memory passes through the MDPT; predicted
+  dependences allocate (or consume) condition variables in the MDST and
+  possibly park the load (:meth:`SynchronizationEngine.load_request`);
+* a store about to access memory passes through the MDPT; matching
+  predicted edges signal waiting loads or pre-set full condition
+  variables for loads yet to arrive (:meth:`SynchronizationEngine.store_request`);
+* a load that becomes safe because every prior store has executed is
+  force-released and its useless condition variables freed
+  (:meth:`SynchronizationEngine.release_load`);
+* a detected mis-speculation allocates/strengthens the MDPT entry
+  (:meth:`SynchronizationEngine.record_mis_speculation`).
+
+The engine is timing-free: the Multiscalar simulator supplies time and
+decides *when* to call each hook, so the protocol can be unit-tested in
+isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.mdpt import MDPT, MDPTEntry
+from repro.core.mdst import MDST
+
+
+@dataclass
+class LoadRequestResult:
+    """Outcome of a load's pass through the MDPT/MDST.
+
+    Attributes:
+        predicted: at least one MDPT entry predicted a dependence.
+        proceed: the load may access memory now.
+        waits: condition variables the load is parked on (empty when
+            *proceed*).
+        satisfied_early: the load proceeded because every predicted edge
+            had a pre-existing full condition variable (store already
+            executed and signalled ahead — Figure 4 parts (e)/(f)).
+        matched_entries: the predicted MDPT entries, for later
+            predictor update by the caller.
+    """
+
+    predicted: bool = False
+    proceed: bool = True
+    waits: List[object] = field(default_factory=list)
+    satisfied_early: bool = False
+    matched_entries: List[MDPTEntry] = field(default_factory=list)
+
+
+class SynchronizationEngine:
+    """Orchestrates one MDPT and one MDST."""
+
+    def __init__(self, mdpt: MDPT, mdst: MDST):
+        self.mdpt = mdpt
+        self.mdst = mdst
+        # counters for diagnostics
+        self.loads_parked = 0
+        self.loads_satisfied_early = 0
+        self.signals_delivered = 0
+        self.fallback_releases = 0
+
+    # ------------------------------------------------------------------
+    # load side (Figure 4 actions 2-4)
+    # ------------------------------------------------------------------
+
+    def load_request(
+        self,
+        load_pc,
+        instance,
+        ldid,
+        task_pc_of: Optional[Callable[[int], Optional[int]]] = None,
+    ) -> LoadRequestResult:
+        """A load is ready to access memory: consult the tables.
+
+        *instance* is the load's instance number (its task sequence
+        number in the Multiscalar approximation).  *task_pc_of* maps an
+        instance number to the PC of the task occupying that position,
+        which path-sensitive (ESYNC) predictors consult.
+        """
+        result = LoadRequestResult()
+        for entry in self.mdpt.lookup_load(load_pc):
+            candidate_pc = None
+            if task_pc_of is not None:
+                candidate_pc = task_pc_of(instance - entry.distance)
+            if not self.mdpt.predict(entry, candidate_pc):
+                continue
+            result.predicted = True
+            result.matched_entries.append(entry)
+            sync = self.mdst.find(entry.store_pc, load_pc, instance)
+            if sync is not None and sync.full:
+                # store already executed and signalled ahead: consume.
+                self.mdst.free(sync)
+                continue
+            if sync is None:
+                sync = self.mdst.allocate(
+                    load_pc, entry.store_pc, instance, ldid=ldid
+                )
+                if sync is None:
+                    continue  # MDST exhausted by waiting loads: no sync
+            sync.ldid = ldid
+            result.waits.append(sync)
+        if result.waits:
+            result.proceed = False
+            self.loads_parked += 1
+        elif result.predicted:
+            result.satisfied_early = True
+            self.loads_satisfied_early += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # store side (Figure 4 actions 5-8)
+    # ------------------------------------------------------------------
+
+    def store_request(self, store_pc, instance, stid=None, task_pc=None) -> List[object]:
+        """A store is ready to access memory: signal or pre-set.
+
+        Returns the LDIDs of loads that are now free to execute (loads
+        parked on several condition variables wake only when the last
+        one is signalled — Section 4.4.4).
+        """
+        woken = []
+        for entry in self.mdpt.lookup_store(store_pc):
+            if not self.mdpt.predict(entry, task_pc):
+                continue
+            target = instance + entry.distance
+            sync = self.mdst.find(store_pc, entry.load_pc, target)
+            if sync is not None:
+                ldid = self.mdst.signal(sync, stid)
+                if ldid is not None:
+                    self.mdst.free(sync)
+                    self.signals_delivered += 1
+                    if not any(
+                        e.waiting for e in self.mdst.entries_for_ldid(ldid)
+                    ):
+                        woken.append(ldid)
+                # else: the entry stays full for a load yet to arrive
+            else:
+                self.mdst.allocate(
+                    entry.load_pc, store_pc, target, stid=stid, full=True
+                )
+        return woken
+
+    # ------------------------------------------------------------------
+    # fallback and recovery
+    # ------------------------------------------------------------------
+
+    def release_load(self, ldid) -> List[Tuple[int, int]]:
+        """Force-release a waiting load (all prior stores executed).
+
+        Frees the load's condition variables and returns the (store PC,
+        load PC) pairs it was parked on, so the caller can account the
+        false dependence predictions and weaken the predictor
+        (Section 4.4.2).
+        """
+        pairs = []
+        for entry in self.mdst.entries_for_ldid(ldid):
+            if entry.waiting:
+                pairs.append((entry.store_pc, entry.load_pc))
+                self.mdst.free(entry)
+        if pairs:
+            self.fallback_releases += 1
+        return pairs
+
+    def record_mis_speculation(
+        self, store_pc, load_pc, distance, store_task_pc=None
+    ) -> MDPTEntry:
+        """A mis-speculation was detected: learn the pair (Figure 4 action 1)."""
+        return self.mdpt.record_mis_speculation(
+            store_pc, load_pc, distance, store_task_pc
+        )
+
+    def squash(self, is_squashed_ldid, is_squashed_stid=None):
+        """Invalidate condition variables of squashed instructions."""
+        self.mdst.invalidate_squashed(is_squashed_ldid, is_squashed_stid)
+
+    # ------------------------------------------------------------------
+    # predictor update helpers (applied non-speculatively by the caller)
+    # ------------------------------------------------------------------
+
+    def reward_pair(self, store_pc, load_pc):
+        """Strengthen the predictor of a pair whose synchronization paid off."""
+        entry = self.mdpt.get(store_pc, load_pc)
+        if entry is not None:
+            self.mdpt.predictor.on_successful_sync(entry.state)
+
+    def penalize_pair(self, store_pc, load_pc):
+        """Weaken the predictor of a pair that synchronized for nothing."""
+        entry = self.mdpt.get(store_pc, load_pc)
+        if entry is not None:
+            self.mdpt.predictor.on_false_prediction(entry.state)

@@ -1,0 +1,135 @@
+"""Memory Dependence Prediction Table (MDPT) — paper Section 4.1.
+
+An MDPT entry identifies a static dependence and predicts whether
+subsequent dynamic instances of the (store PC, load PC) pair will
+mis-speculate.  Fields per the paper: valid flag, load PC, store PC,
+dependence distance (DIST), and the optional prediction state.
+
+The simulated structure is fully associative with LRU replacement
+(the paper maintains LRU information for replacement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class MDPTEntry:
+    """One MDPT entry."""
+
+    __slots__ = ("valid", "load_pc", "store_pc", "distance", "state", "last_use")
+
+    def __init__(self, load_pc, store_pc, distance, state, last_use):
+        self.valid = True
+        self.load_pc = load_pc
+        self.store_pc = store_pc
+        self.distance = distance
+        self.state = state
+        self.last_use = last_use
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        return (self.store_pc, self.load_pc)
+
+    def __repr__(self):
+        return "MDPTEntry(store_pc=%d, load_pc=%d, dist=%d, state=%r)" % (
+            self.store_pc,
+            self.load_pc,
+            self.distance,
+            self.state,
+        )
+
+
+class MDPT:
+    """Fully-associative prediction table with LRU replacement."""
+
+    def __init__(self, capacity, predictor):
+        if capacity <= 0:
+            raise ValueError("MDPT capacity must be positive")
+        self.capacity = capacity
+        self.predictor = predictor
+        self._by_pair: Dict[Tuple[int, int], MDPTEntry] = {}
+        self._by_load: Dict[int, List[MDPTEntry]] = {}
+        self._by_store: Dict[int, List[MDPTEntry]] = {}
+        self._clock = 0
+        self.allocations = 0
+        self.evictions = 0
+
+    def __len__(self):
+        return len(self._by_pair)
+
+    def __iter__(self):
+        return iter(self._by_pair.values())
+
+    def _touch(self, entry):
+        self._clock += 1
+        entry.last_use = self._clock
+
+    def _unlink(self, entry):
+        entry.valid = False
+        del self._by_pair[entry.pair]
+        self._by_load[entry.load_pc].remove(entry)
+        if not self._by_load[entry.load_pc]:
+            del self._by_load[entry.load_pc]
+        self._by_store[entry.store_pc].remove(entry)
+        if not self._by_store[entry.store_pc]:
+            del self._by_store[entry.store_pc]
+
+    def _evict_lru(self):
+        victim = min(self._by_pair.values(), key=lambda e: e.last_use)
+        self._unlink(victim)
+        self.evictions += 1
+        return victim
+
+    def record_mis_speculation(
+        self, store_pc, load_pc, distance, store_task_pc=None
+    ) -> MDPTEntry:
+        """Allocate or strengthen the entry for a mis-speculated pair.
+
+        The DIST field records the instance-number difference observed
+        at the mis-speculation; repeated mis-speculations refresh it
+        (the dependence distance may drift, e.g. across loop phases).
+        """
+        entry = self._by_pair.get((store_pc, load_pc))
+        if entry is None:
+            if len(self._by_pair) >= self.capacity:
+                self._evict_lru()
+            self._clock += 1
+            entry = MDPTEntry(
+                load_pc,
+                store_pc,
+                distance,
+                self.predictor.make_state(),
+                self._clock,
+            )
+            self._by_pair[entry.pair] = entry
+            self._by_load.setdefault(load_pc, []).append(entry)
+            self._by_store.setdefault(store_pc, []).append(entry)
+            self.allocations += 1
+        else:
+            entry.distance = distance
+            self._touch(entry)
+        self.predictor.on_mis_speculation(entry.state, store_task_pc)
+        return entry
+
+    def lookup_load(self, load_pc) -> List[MDPTEntry]:
+        """All valid entries whose load PC matches (refreshes LRU)."""
+        entries = self._by_load.get(load_pc, [])
+        for entry in entries:
+            self._touch(entry)
+        return list(entries)
+
+    def lookup_store(self, store_pc) -> List[MDPTEntry]:
+        """All valid entries whose store PC matches (refreshes LRU)."""
+        entries = self._by_store.get(store_pc, [])
+        for entry in entries:
+            self._touch(entry)
+        return list(entries)
+
+    def get(self, store_pc, load_pc) -> Optional[MDPTEntry]:
+        """Exact-pair lookup without LRU side effects (for inspection)."""
+        return self._by_pair.get((store_pc, load_pc))
+
+    def predict(self, entry, candidate_task_pc=None) -> bool:
+        """Evaluate the predictor for one entry."""
+        return self.predictor.predict(entry.state, candidate_task_pc)

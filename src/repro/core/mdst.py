@@ -1,0 +1,139 @@
+"""Memory Dependence Synchronization Table (MDST) — paper Section 4.2.
+
+An MDST entry supplies a condition variable (the full/empty flag) and
+the bookkeeping needed to synchronize one dynamic instance of a static
+store/load pair.  Fields per the paper: valid flag, load PC, store PC,
+load identifier (LDID), store identifier (STID), instance tag, and the
+full/empty flag.
+
+Instance tags here are the load-side instance numbers (approximated by
+task sequence numbers, as the paper approximates them with statically
+assigned stage identifiers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class MDSTEntry:
+    """One synchronization entry (a dynamic condition variable)."""
+
+    __slots__ = ("valid", "load_pc", "store_pc", "instance", "ldid", "stid", "full")
+
+    def __init__(self, load_pc, store_pc, instance, ldid=None, stid=None, full=False):
+        self.valid = True
+        self.load_pc = load_pc
+        self.store_pc = store_pc
+        self.instance = instance
+        self.ldid = ldid
+        self.stid = stid
+        self.full = full
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        return (self.store_pc, self.load_pc, self.instance)
+
+    @property
+    def waiting(self) -> bool:
+        """True when a load is parked on this condition variable."""
+        return self.ldid is not None and not self.full
+
+    def __repr__(self):
+        return "MDSTEntry(store_pc=%d, load_pc=%d, inst=%d, full=%s, ldid=%r)" % (
+            self.store_pc,
+            self.load_pc,
+            self.instance,
+            self.full,
+            self.ldid,
+        )
+
+
+class MDST:
+    """The pool of condition variables.
+
+    Allocation policy on overflow (paper Section 4.4.2): free an entry
+    whose full/empty flag is set to full — those synchronizations
+    already happened on the store side and losing one only costs a
+    fallback release.  If every entry has a waiting load, allocation
+    fails and the requesting load simply is not synchronized.
+    """
+
+    def __init__(self, capacity):
+        if capacity <= 0:
+            raise ValueError("MDST capacity must be positive")
+        self.capacity = capacity
+        self._by_key: Dict[Tuple[int, int, int], MDSTEntry] = {}
+        self.allocations = 0
+        self.overflow_drops = 0
+        self.failed_allocations = 0
+
+    def __len__(self):
+        return len(self._by_key)
+
+    def __iter__(self):
+        return iter(self._by_key.values())
+
+    def allocate(
+        self, load_pc, store_pc, instance, ldid=None, stid=None, full=False
+    ) -> Optional[MDSTEntry]:
+        """Allocate a condition variable; return None when no room."""
+        key = (store_pc, load_pc, instance)
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        if len(self._by_key) >= self.capacity:
+            victim = next((e for e in self._by_key.values() if e.full), None)
+            if victim is None:
+                self.failed_allocations += 1
+                return None
+            self.free(victim)
+            self.overflow_drops += 1
+        entry = MDSTEntry(load_pc, store_pc, instance, ldid=ldid, stid=stid, full=full)
+        self._by_key[key] = entry
+        self.allocations += 1
+        return entry
+
+    def find(self, store_pc, load_pc, instance) -> Optional[MDSTEntry]:
+        """The associative search of paper Figure 4 (actions 5-6)."""
+        return self._by_key.get((store_pc, load_pc, instance))
+
+    def entries_for_ldid(self, ldid) -> List[MDSTEntry]:
+        """All entries tagged with one load identifier (second associative
+        lookup of Section 4.4.4, used to decide whether a signalled load
+        still has other dependences to wait on)."""
+        return [e for e in self._by_key.values() if e.ldid == ldid]
+
+    def signal(self, entry, stid=None) -> Optional[object]:
+        """Store-side signal: set full; return the waiting LDID, if any."""
+        if not entry.valid:
+            raise ValueError("signalling an invalid MDST entry")
+        entry.stid = stid
+        was_waiting = entry.waiting
+        entry.full = True
+        return entry.ldid if was_waiting else None
+
+    def free(self, entry):
+        """Release a condition variable."""
+        if entry.valid:
+            entry.valid = False
+            del self._by_key[entry.key]
+
+    def invalidate_squashed(self, is_squashed_ldid, is_squashed_stid=None):
+        """Drop entries belonging to squashed instructions (Section 4.4.3).
+
+        *is_squashed_ldid* / *is_squashed_stid* are predicates over the
+        recorded identifiers.  Entries whose waiting load was squashed
+        are freed outright; full entries produced by squashed stores are
+        freed as well.
+        """
+        for entry in list(self._by_key.values()):
+            if entry.ldid is not None and is_squashed_ldid(entry.ldid):
+                self.free(entry)
+            elif (
+                is_squashed_stid is not None
+                and entry.stid is not None
+                and entry.full
+                and is_squashed_stid(entry.stid)
+            ):
+                self.free(entry)

@@ -1,0 +1,176 @@
+"""Dependence predictors for MDPT entries (paper Sections 4.4.1 and 5.5).
+
+Three predictors are provided:
+
+* :class:`AlwaysSyncPredictor` — the "optional field omitted" baseline:
+  any matching MDPT entry predicts synchronization.
+* :class:`CounterPredictor` — the paper's **SYNC** predictor: a 3-bit
+  up/down saturating counter per entry with threshold 3.  Values below
+  the threshold predict no dependence; values at or above it predict
+  dependence and consequent synchronization.
+* :class:`PathSensitivePredictor` — the paper's **ESYNC** predictor:
+  the counter plus the PC of the task that issued the store.
+  Synchronization is enforced only if the task at distance DIST from
+  the load is executing a task with that PC, which captures loads whose
+  multiple static dependences occur via different execution paths.
+"""
+
+from __future__ import annotations
+
+
+class CounterState:
+    """Per-entry predictor state: a saturating counter and optional path PC."""
+
+    __slots__ = ("value", "store_task_pc")
+
+    def __init__(self, value, store_task_pc=None):
+        self.value = value
+        self.store_task_pc = store_task_pc
+
+    def __repr__(self):
+        return "CounterState(value=%d, store_task_pc=%r)" % (
+            self.value,
+            self.store_task_pc,
+        )
+
+
+class DependencePredictor:
+    """Interface shared by all dependence predictors.
+
+    The prediction method ought to strengthen when synchronization pays
+    off and weaken when it does not (paper Section 4.4.1); the three
+    ``on_*`` hooks below receive exactly those outcomes from the
+    synchronization engine.
+    """
+
+    name = "abstract"
+
+    def make_state(self) -> CounterState:
+        """Fresh per-entry state, created when a mis-speculation allocates
+        an MDPT entry (so it must start out predicting dependence)."""
+        raise NotImplementedError
+
+    def predict(self, state, candidate_task_pc=None) -> bool:
+        """Should a load matching this entry synchronize?
+
+        *candidate_task_pc* is the PC of the task at distance DIST from
+        the load (used only by path-sensitive predictors).
+        """
+        raise NotImplementedError
+
+    def on_mis_speculation(self, state, store_task_pc=None):
+        """The pair mis-speculated (again): strengthen."""
+        raise NotImplementedError
+
+    def on_successful_sync(self, state):
+        """A store signalled a waiting load: the prediction was useful."""
+        raise NotImplementedError
+
+    def on_false_prediction(self, state):
+        """The load synchronized for nothing: weaken."""
+        raise NotImplementedError
+
+
+class AlwaysSyncPredictor(DependencePredictor):
+    """Predict synchronization for every valid MDPT entry."""
+
+    name = "always"
+
+    def make_state(self):
+        return CounterState(value=1)
+
+    def predict(self, state, candidate_task_pc=None):
+        return True
+
+    def on_mis_speculation(self, state, store_task_pc=None):
+        pass
+
+    def on_successful_sync(self, state):
+        pass
+
+    def on_false_prediction(self, state):
+        pass
+
+
+class CounterPredictor(DependencePredictor):
+    """The SYNC predictor: an up/down saturating counter per entry.
+
+    The paper's configuration is a 3-bit counter (0..7) with threshold
+    3; entries are allocated on a mis-speculation, so the initial value
+    must be at or above the threshold.
+    """
+
+    name = "sync"
+
+    def __init__(self, bits=3, threshold=3, initial=None):
+        if bits < 1:
+            raise ValueError("counter must have at least one bit")
+        self.maximum = (1 << bits) - 1
+        if not 0 < threshold <= self.maximum:
+            raise ValueError(
+                "threshold %d out of range for a %d-bit counter" % (threshold, bits)
+            )
+        self.threshold = threshold
+        self.initial = threshold if initial is None else initial
+        if not 0 <= self.initial <= self.maximum:
+            raise ValueError("initial value %d out of range" % self.initial)
+
+    def make_state(self):
+        return CounterState(value=self.initial)
+
+    def predict(self, state, candidate_task_pc=None):
+        return state.value >= self.threshold
+
+    def on_mis_speculation(self, state, store_task_pc=None):
+        state.value = min(self.maximum, state.value + 1)
+
+    def on_successful_sync(self, state):
+        state.value = min(self.maximum, state.value + 1)
+
+    def on_false_prediction(self, state):
+        state.value = max(0, state.value - 1)
+
+
+class PathSensitivePredictor(CounterPredictor):
+    """The ESYNC predictor: counter plus the producing task's PC.
+
+    Synchronization is enforced on a matching load only if the task at
+    distance DIST runs the task whose PC was recorded when the store
+    side of the dependence last mis-speculated.  When the candidate
+    task PC is unknown (the task already retired or has not been
+    dispatched), no synchronization is enforced — the counter alone
+    cannot vouch for the path.
+    """
+
+    name = "esync"
+
+    def make_state(self):
+        return CounterState(value=self.initial, store_task_pc=None)
+
+    def predict(self, state, candidate_task_pc=None):
+        if state.value < self.threshold:
+            return False
+        if state.store_task_pc is None:
+            return True  # no path information recorded yet
+        return candidate_task_pc == state.store_task_pc
+
+    def on_mis_speculation(self, state, store_task_pc=None):
+        super().on_mis_speculation(state, store_task_pc)
+        if store_task_pc is not None:
+            state.store_task_pc = store_task_pc
+
+
+def make_predictor(name, **kwargs) -> DependencePredictor:
+    """Factory keyed by predictor name ("always", "sync", "esync")."""
+    table = {
+        "always": AlwaysSyncPredictor,
+        "sync": CounterPredictor,
+        "esync": PathSensitivePredictor,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise ValueError(
+            "unknown predictor %r (expected one of %s)" % (name, sorted(table))
+        ) from None
+    return cls(**kwargs)

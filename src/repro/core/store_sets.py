@@ -1,0 +1,110 @@
+"""Store-set memory dependence prediction (Chrysos & Emer, ISCA 1998).
+
+The direct successor of this paper's MDPT/MDST: instead of predicting
+per (store PC, load PC) pair with an explicit distance tag, loads and
+stores that ever conflict are merged into *store sets*:
+
+* the **SSIT** (Store Set Identifier Table) maps an instruction PC to
+  its store-set identifier (SSID);
+* the **LFST** (Last Fetched Store Table) maps an SSID to the most
+  recently fetched, still-in-flight store of that set.
+
+A fetched load looks up its SSID and, if the LFST holds a store,
+becomes dependent on exactly that store.  A fetched store does the
+same (enforcing store ordering within a set) and then installs itself
+in the LFST; when it issues, it clears its LFST entry if still
+present.  On a memory-order violation the offending load and store are
+merged into one set (smaller SSID wins, per the paper's merge rule).
+
+Implemented here so the benchmark harness can compare the 1997
+mechanism against its 1998 successor on identical hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class StoreSetPredictor:
+    """SSIT + LFST with the store-set assignment/merge rules."""
+
+    def __init__(self, ssit_size=1024, lfst_size=256):
+        if ssit_size <= 0 or lfst_size <= 0:
+            raise ValueError("table sizes must be positive")
+        self.ssit_size = ssit_size
+        self.lfst_size = lfst_size
+        self._ssit: Dict[int, int] = {}       # pc (hashed) -> ssid
+        self._lfst: Dict[int, object] = {}    # ssid -> in-flight store id
+        self._next_ssid = 0
+        self.merges = 0
+        self.assignments = 0
+
+    # -- indexing ----------------------------------------------------------
+
+    def _index(self, pc) -> int:
+        return pc % self.ssit_size
+
+    def ssid_of(self, pc) -> Optional[int]:
+        return self._ssit.get(self._index(pc))
+
+    def _alloc_ssid(self) -> int:
+        ssid = self._next_ssid % self.lfst_size
+        self._next_ssid += 1
+        return ssid
+
+    # -- learning ------------------------------------------------------------
+
+    def on_violation(self, store_pc, load_pc):
+        """Merge the offending pair into one store set."""
+        s_idx, l_idx = self._index(store_pc), self._index(load_pc)
+        s_ssid, l_ssid = self._ssit.get(s_idx), self._ssit.get(l_idx)
+        if s_ssid is None and l_ssid is None:
+            ssid = self._alloc_ssid()
+            self._ssit[s_idx] = self._ssit[l_idx] = ssid
+            self.assignments += 1
+        elif s_ssid is None:
+            self._ssit[s_idx] = l_ssid
+            self.assignments += 1
+        elif l_ssid is None:
+            self._ssit[l_idx] = s_ssid
+            self.assignments += 1
+        elif s_ssid != l_ssid:
+            winner = min(s_ssid, l_ssid)
+            self._ssit[s_idx] = self._ssit[l_idx] = winner
+            self.merges += 1
+
+    # -- fetch/issue protocol ---------------------------------------------------
+
+    def store_fetched(self, store_pc, store_id) -> Optional[object]:
+        """A store enters the window: returns the store it must follow
+        (intra-set store ordering), then installs itself in the LFST."""
+        ssid = self.ssid_of(store_pc)
+        if ssid is None:
+            return None
+        predecessor = self._lfst.get(ssid)
+        self._lfst[ssid] = store_id
+        return predecessor
+
+    def load_fetched(self, load_pc) -> Optional[object]:
+        """A load enters the window: returns the store it depends on."""
+        ssid = self.ssid_of(load_pc)
+        if ssid is None:
+            return None
+        return self._lfst.get(ssid)
+
+    def store_issued(self, store_pc, store_id):
+        """A store left the window: clear its LFST entry if still its own."""
+        ssid = self.ssid_of(store_pc)
+        if ssid is not None and self._lfst.get(ssid) == store_id:
+            del self._lfst[ssid]
+
+    def squash(self, is_squashed_store_id):
+        """Remove squashed in-flight stores from the LFST."""
+        for ssid, store_id in list(self._lfst.items()):
+            if is_squashed_store_id(store_id):
+                del self._lfst[ssid]
+
+    # -- inspection ----------------------------------------------------------------
+
+    def __len__(self):
+        return len(self._ssit)

@@ -1,0 +1,63 @@
+"""Experiment runners: one per table and figure of the paper."""
+
+from repro.experiments.figures import (
+    extension_window_scaling,
+    figure5_policy_speedups,
+    figure6_mechanism_speedups,
+    figure7_spec95_speedups,
+)
+from repro.experiments.results import ExperimentTable
+from repro.experiments.sweeps import SweepPoint, SweepResult, sweep
+from repro.experiments.tables import (
+    RecordingAlwaysPolicy,
+    load_traces,
+    table1_instruction_counts,
+    table2_fu_latencies,
+    table3_window_missspec,
+    table4_static_coverage,
+    table5_ddc_missrate,
+    table6_multiscalar_missspec,
+    table7_multiscalar_ddc,
+    table8_prediction_breakdown,
+    table9_missspec_rates,
+)
+
+#: experiment id -> runner, for programmatic access to the whole set
+ALL_EXPERIMENTS = {
+    "table1": table1_instruction_counts,
+    "table2": table2_fu_latencies,
+    "table3": table3_window_missspec,
+    "table4": table4_static_coverage,
+    "table5": table5_ddc_missrate,
+    "table6": table6_multiscalar_missspec,
+    "table7": table7_multiscalar_ddc,
+    "table8": table8_prediction_breakdown,
+    "table9": table9_missspec_rates,
+    "figure5": figure5_policy_speedups,
+    "figure6": figure6_mechanism_speedups,
+    "figure7": figure7_spec95_speedups,
+    "window-scaling": extension_window_scaling,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentTable",
+    "RecordingAlwaysPolicy",
+    "SweepPoint",
+    "SweepResult",
+    "extension_window_scaling",
+    "sweep",
+    "table2_fu_latencies",
+    "figure5_policy_speedups",
+    "figure6_mechanism_speedups",
+    "figure7_spec95_speedups",
+    "load_traces",
+    "table1_instruction_counts",
+    "table3_window_missspec",
+    "table4_static_coverage",
+    "table5_ddc_missrate",
+    "table6_multiscalar_missspec",
+    "table7_multiscalar_ddc",
+    "table8_prediction_breakdown",
+    "table9_missspec_rates",
+]

@@ -1,0 +1,126 @@
+"""Parameter-sweep utilities.
+
+The paper leaves most of the design space unexplored ("the design space
+is vast, and the simulation method extremely time consuming").  This
+module provides the machinery to explore it: run a matrix of
+(workload x policy x configuration) simulations and collect the results
+as an :class:`~repro.experiments.results.ExperimentTable`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.results import ExperimentTable
+from repro.multiscalar import MultiscalarConfig, MultiscalarSimulator, make_policy
+from repro.workloads import get_workload
+
+
+@dataclass
+class SweepPoint:
+    """One completed simulation in a sweep."""
+
+    workload: str
+    policy: str
+    overrides: Tuple[Tuple[str, object], ...]
+    cycles: int
+    ipc: float
+    mis_speculations: int
+
+    def override(self, key, default=None):
+        return dict(self.overrides).get(key, default)
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, with selection helpers."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def select(self, **criteria) -> List[SweepPoint]:
+        """Points matching workload=/policy=/<override>= criteria."""
+        out = []
+        for point in self.points:
+            ok = True
+            for key, value in criteria.items():
+                if key == "workload":
+                    ok = point.workload == value
+                elif key == "policy":
+                    ok = point.policy == value
+                else:
+                    ok = point.override(key) == value
+                if not ok:
+                    break
+            if ok:
+                out.append(point)
+        return out
+
+    def best(self, metric="cycles", **criteria) -> SweepPoint:
+        """The point minimizing *metric* among matching points."""
+        candidates = self.select(**criteria)
+        if not candidates:
+            raise KeyError("no sweep points match %r" % (criteria,))
+        return min(candidates, key=lambda p: getattr(p, metric))
+
+    def to_table(self, title="parameter sweep") -> ExperimentTable:
+        override_keys = sorted(
+            {key for point in self.points for key, _ in point.overrides}
+        )
+        table = ExperimentTable(
+            "sweep",
+            title,
+            ["workload", "policy"] + override_keys + ["cycles", "ipc", "ms"],
+        )
+        for point in self.points:
+            row = [point.workload, point.policy]
+            row += [point.override(k, "-") for k in override_keys]
+            row += [point.cycles, round(point.ipc, 2), point.mis_speculations]
+            table.add_row(*row)
+        return table
+
+
+def sweep(
+    workloads: Sequence[str],
+    policies: Sequence[str] = ("always", "esync", "psync"),
+    overrides: Optional[Dict[str, Sequence[object]]] = None,
+    scale="tiny",
+    base_config: Optional[MultiscalarConfig] = None,
+    traces=None,
+) -> SweepResult:
+    """Run the full cross product and return a :class:`SweepResult`.
+
+    *overrides* maps :class:`MultiscalarConfig` field names to value
+    lists, e.g. ``{"stages": (4, 8), "squash_penalty": (2, 4, 8)}``.
+    Pass *traces* (name -> Trace) to reuse interpreted traces.
+    """
+    overrides = overrides or {}
+    base = base_config or MultiscalarConfig()
+    traces = dict(traces or {})
+    for name in workloads:
+        if name not in traces:
+            traces[name] = get_workload(name).trace(scale)
+
+    keys = sorted(overrides)
+    combos = list(itertools.product(*(overrides[k] for k in keys))) or [()]
+    result = SweepResult()
+    for name in workloads:
+        for combo in combos:
+            config = replace(base, **dict(zip(keys, combo)))
+            for policy_name in policies:
+                sim = MultiscalarSimulator(
+                    traces[name], config, make_policy(policy_name)
+                )
+                stats = sim.run()
+                result.points.append(
+                    SweepPoint(
+                        workload=name,
+                        policy=policy_name,
+                        overrides=tuple(zip(keys, combo)),
+                        cycles=stats.cycles,
+                        ipc=stats.ipc,
+                        mis_speculations=stats.mis_speculations,
+                    )
+                )
+    return result

@@ -1,0 +1,21 @@
+"""Functional frontend: interpreter, dynamic traces, trace analysis."""
+
+from repro.frontend.analysis import TraceAnalysis, analyze_trace
+from repro.frontend.interpreter import (
+    Interpreter,
+    InterpreterError,
+    TraceLimitExceeded,
+    run_program,
+)
+from repro.frontend.trace import Trace, TraceEntry
+
+__all__ = [
+    "Interpreter",
+    "InterpreterError",
+    "Trace",
+    "TraceAnalysis",
+    "analyze_trace",
+    "TraceEntry",
+    "TraceLimitExceeded",
+    "run_program",
+]

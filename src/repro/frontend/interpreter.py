@@ -1,0 +1,241 @@
+"""Functional interpreter for repro RISC programs.
+
+The interpreter executes a program architecturally (no timing) and
+records the committed dynamic instruction stream as a
+:class:`~repro.frontend.trace.Trace`.  All downstream models — the
+unrealistic OoO window model of Section 5 and the Multiscalar timing
+simulator — are driven from that trace.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.frontend.trace import Trace, TraceEntry
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import NUM_REGS, ZERO
+
+
+class InterpreterError(Exception):
+    """Raised on a runtime fault (bad address, division by zero, ...)."""
+
+
+class TraceLimitExceeded(InterpreterError):
+    """Raised when a run exceeds the configured instruction budget."""
+
+
+def _sdiv(a, b):
+    """C-style integer division truncated toward zero."""
+    if b == 0:
+        raise InterpreterError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _srem(a, b):
+    """C-style remainder: a - trunc(a/b)*b."""
+    return a - _sdiv(a, b) * b
+
+
+def _check_addr(addr):
+    if addr % 4 != 0:
+        raise InterpreterError("unaligned memory address: %d" % addr)
+    if addr < 0:
+        raise InterpreterError("negative memory address: %d" % addr)
+    return addr
+
+
+class Interpreter:
+    """Executes a program and produces its committed trace.
+
+    Args:
+        program: a validated :class:`~repro.isa.program.Program`.
+        max_instructions: abort (raising :class:`TraceLimitExceeded`)
+            if the dynamic instruction count exceeds this budget.
+    """
+
+    def __init__(self, program, max_instructions=5_000_000):
+        self.program = program
+        self.max_instructions = max_instructions
+        self.registers = [0] * NUM_REGS
+        self.memory = dict(program.initial_memory)
+
+    def run(self) -> Trace:
+        """Execute the program to completion and return its trace."""
+        program = self.program
+        instructions = program.instructions
+        regs = self.registers
+        memory = self.memory
+        entries = []
+        limit = self.max_instructions
+
+        pc = program.entry
+        task_id = 0
+        task_pc = pc
+        seq = 0
+        O = Opcode
+
+        while True:
+            if seq >= limit:
+                raise TraceLimitExceeded(
+                    "%s: exceeded %d instructions" % (program.name, limit)
+                )
+            inst = instructions[pc]
+            if inst.task_entry and seq > 0:
+                task_id += 1
+                task_pc = pc
+            op = inst.op
+            addr = None
+            value = None
+            taken = None
+            next_pc = pc + 1
+
+            if op is O.LW:
+                addr = _check_addr(regs[inst.rs1] + inst.imm)
+                value = memory.get(addr, 0)
+                if inst.rd != ZERO:
+                    regs[inst.rd] = value
+            elif op is O.SW:
+                addr = _check_addr(regs[inst.rs1] + inst.imm)
+                value = regs[inst.rs2]
+                memory[addr] = value
+            elif op is O.ADD:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = regs[inst.rs1] + regs[inst.rs2]
+            elif op is O.ADDI:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = regs[inst.rs1] + inst.imm
+            elif op is O.SUB:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = regs[inst.rs1] - regs[inst.rs2]
+            elif op is O.AND:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = regs[inst.rs1] & regs[inst.rs2]
+            elif op is O.ANDI:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = regs[inst.rs1] & inst.imm
+            elif op is O.OR:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = regs[inst.rs1] | regs[inst.rs2]
+            elif op is O.ORI:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = regs[inst.rs1] | inst.imm
+            elif op is O.XOR:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = regs[inst.rs1] ^ regs[inst.rs2]
+            elif op is O.XORI:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = regs[inst.rs1] ^ inst.imm
+            elif op is O.NOR:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = ~(regs[inst.rs1] | regs[inst.rs2])
+            elif op is O.SLT:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = 1 if regs[inst.rs1] < regs[inst.rs2] else 0
+            elif op is O.SLTI:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = 1 if regs[inst.rs1] < inst.imm else 0
+            elif op is O.SLL:
+                if inst.rd != ZERO:
+                    shifted = (regs[inst.rs1] << (inst.imm & 31)) & 0xFFFFFFFF
+                    if shifted >= 0x80000000:
+                        shifted -= 0x100000000
+                    regs[inst.rd] = shifted
+            elif op is O.SRL:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = (regs[inst.rs1] & 0xFFFFFFFF) >> (inst.imm & 31)
+            elif op is O.SRA:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = regs[inst.rs1] >> (inst.imm & 31)
+            elif op is O.LUI:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = inst.imm << 16
+            elif op is O.LI:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = inst.imm
+            elif op is O.MUL:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = regs[inst.rs1] * regs[inst.rs2]
+            elif op is O.DIV:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = _sdiv(regs[inst.rs1], regs[inst.rs2])
+            elif op is O.REM:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = _srem(regs[inst.rs1], regs[inst.rs2])
+            elif op is O.BEQ:
+                taken = regs[inst.rs1] == regs[inst.rs2]
+                if taken:
+                    next_pc = inst.target
+            elif op is O.BNE:
+                taken = regs[inst.rs1] != regs[inst.rs2]
+                if taken:
+                    next_pc = inst.target
+            elif op is O.BLT:
+                taken = regs[inst.rs1] < regs[inst.rs2]
+                if taken:
+                    next_pc = inst.target
+            elif op is O.BGE:
+                taken = regs[inst.rs1] >= regs[inst.rs2]
+                if taken:
+                    next_pc = inst.target
+            elif op is O.BLE:
+                taken = regs[inst.rs1] <= regs[inst.rs2]
+                if taken:
+                    next_pc = inst.target
+            elif op is O.BGT:
+                taken = regs[inst.rs1] > regs[inst.rs2]
+                if taken:
+                    next_pc = inst.target
+            elif op is O.J:
+                next_pc = inst.target
+            elif op is O.JAL:
+                regs[inst.rd] = pc + 1
+                next_pc = inst.target
+            elif op is O.JR:
+                next_pc = regs[inst.rs1]
+            elif op is O.HALT:
+                next_pc = -1
+            elif op is O.NOP:
+                pass
+            elif op is O.FADD_S or op is O.FADD_D:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = regs[inst.rs1] + regs[inst.rs2]
+            elif op is O.FSUB_S or op is O.FSUB_D:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = regs[inst.rs1] - regs[inst.rs2]
+            elif op is O.FMUL_S or op is O.FMUL_D:
+                if inst.rd != ZERO:
+                    regs[inst.rd] = regs[inst.rs1] * regs[inst.rs2]
+            elif op is O.FDIV_S or op is O.FDIV_D:
+                divisor = regs[inst.rs2]
+                if divisor == 0:
+                    raise InterpreterError("floating-point division by zero")
+                if inst.rd != ZERO:
+                    regs[inst.rd] = regs[inst.rs1] / divisor
+            elif op is O.FSQRT_S or op is O.FSQRT_D:
+                operand = regs[inst.rs1]
+                if operand < 0:
+                    raise InterpreterError("square root of a negative value")
+                if inst.rd != ZERO:
+                    regs[inst.rd] = math.sqrt(operand)
+            else:  # pragma: no cover - all opcodes handled above
+                raise InterpreterError("unimplemented opcode: %s" % op)
+
+            entries.append(
+                TraceEntry(seq, inst, addr, value, taken, next_pc, task_id, task_pc)
+            )
+            seq += 1
+            if next_pc < 0:
+                break
+            if not 0 <= next_pc < len(instructions):
+                raise InterpreterError(
+                    "control transfer out of program: pc=%d -> %d" % (pc, next_pc)
+                )
+            pc = next_pc
+
+        return Trace(self.program, entries)
+
+
+def run_program(program, max_instructions=5_000_000) -> Trace:
+    """Convenience wrapper: interpret *program* and return its trace."""
+    return Interpreter(program, max_instructions=max_instructions).run()

@@ -1,0 +1,317 @@
+"""A small assembler DSL for building repro RISC programs from Python.
+
+Example:
+    >>> from repro.isa.assembler import Assembler
+    >>> a = Assembler("count")
+    >>> a.li("t0", 0)
+    >>> a.label("loop")
+    >>> a.task_begin()
+    >>> a.addi("t0", "t0", 1)
+    >>> a.slti("t1", "t0", 10)
+    >>> a.bne("t1", "zero", "loop")
+    >>> a.halt()
+    >>> program = a.assemble()
+    >>> len(program)
+    5
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program, ProgramError
+from repro.isa.registers import parse_register
+
+
+class Assembler:
+    """Incrementally builds a :class:`~repro.isa.program.Program`.
+
+    Each mnemonic method appends one instruction.  Labels attach to the
+    next emitted instruction.  ``task_begin()`` marks the next emitted
+    instruction as the start of a Multiscalar task.
+    """
+
+    def __init__(self, name="program"):
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._pending_labels: List[str] = []
+        self._pending_task_entry = False
+        self._initial_memory: Dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    def label(self, name):
+        """Define *name* at the current position."""
+        if name in self._labels or name in self._pending_labels:
+            raise ProgramError("duplicate label: %r" % (name,))
+        self._pending_labels.append(name)
+        return self
+
+    def task_begin(self):
+        """Mark the next emitted instruction as a Multiscalar task entry."""
+        self._pending_task_entry = True
+        return self
+
+    def word(self, addr, value):
+        """Set the initial memory word at byte address *addr* to *value*."""
+        if addr % 4 != 0:
+            raise ProgramError("address %d not word-aligned" % addr)
+        self._initial_memory[addr] = value
+        return self
+
+    def data(self, addr, values):
+        """Lay out consecutive initial memory words starting at *addr*."""
+        for i, value in enumerate(values):
+            self.word(addr + 4 * i, value)
+        return self
+
+    def here(self):
+        """Return the PC of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+
+    def _emit(self, inst):
+        inst.pc = len(self._instructions)
+        if self._pending_labels:
+            for name in self._pending_labels:
+                self._labels[name] = inst.pc
+            self._pending_labels = []
+        if self._pending_task_entry:
+            inst.task_entry = True
+            self._pending_task_entry = False
+        self._instructions.append(inst)
+        return inst
+
+    def _rrr(self, op, rd, rs1, rs2):
+        return self._emit(
+            Instruction(
+                op,
+                rd=parse_register(rd),
+                rs1=parse_register(rs1),
+                rs2=parse_register(rs2),
+            )
+        )
+
+    def _rri(self, op, rd, rs1, imm):
+        return self._emit(
+            Instruction(
+                op, rd=parse_register(rd), rs1=parse_register(rs1), imm=int(imm)
+            )
+        )
+
+    # --- simple integer -------------------------------------------------
+
+    def add(self, rd, rs1, rs2):
+        return self._rrr(Opcode.ADD, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        return self._rrr(Opcode.SUB, rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2):
+        return self._rrr(Opcode.AND, rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2):
+        return self._rrr(Opcode.OR, rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2):
+        return self._rrr(Opcode.XOR, rd, rs1, rs2)
+
+    def nor(self, rd, rs1, rs2):
+        return self._rrr(Opcode.NOR, rd, rs1, rs2)
+
+    def slt(self, rd, rs1, rs2):
+        return self._rrr(Opcode.SLT, rd, rs1, rs2)
+
+    def sll(self, rd, rs1, shamt):
+        return self._rri(Opcode.SLL, rd, rs1, shamt)
+
+    def srl(self, rd, rs1, shamt):
+        return self._rri(Opcode.SRL, rd, rs1, shamt)
+
+    def sra(self, rd, rs1, shamt):
+        return self._rri(Opcode.SRA, rd, rs1, shamt)
+
+    def addi(self, rd, rs1, imm):
+        return self._rri(Opcode.ADDI, rd, rs1, imm)
+
+    def andi(self, rd, rs1, imm):
+        return self._rri(Opcode.ANDI, rd, rs1, imm)
+
+    def ori(self, rd, rs1, imm):
+        return self._rri(Opcode.ORI, rd, rs1, imm)
+
+    def xori(self, rd, rs1, imm):
+        return self._rri(Opcode.XORI, rd, rs1, imm)
+
+    def slti(self, rd, rs1, imm):
+        return self._rri(Opcode.SLTI, rd, rs1, imm)
+
+    def lui(self, rd, imm):
+        return self._emit(Instruction(Opcode.LUI, rd=parse_register(rd), imm=int(imm)))
+
+    def li(self, rd, imm):
+        """Load immediate (pseudo-instruction, one cycle)."""
+        return self._emit(Instruction(Opcode.LI, rd=parse_register(rd), imm=int(imm)))
+
+    def move(self, rd, rs):
+        """Register move (pseudo: ``add rd, rs, zero``)."""
+        return self._rrr(Opcode.ADD, rd, rs, "zero")
+
+    # --- complex integer --------------------------------------------------
+
+    def mul(self, rd, rs1, rs2):
+        return self._rrr(Opcode.MUL, rd, rs1, rs2)
+
+    def div(self, rd, rs1, rs2):
+        return self._rrr(Opcode.DIV, rd, rs1, rs2)
+
+    def rem(self, rd, rs1, rs2):
+        return self._rrr(Opcode.REM, rd, rs1, rs2)
+
+    # --- memory -----------------------------------------------------------
+
+    def lw(self, rd, base, offset=0):
+        """Load the word at ``offset(base)`` into *rd*."""
+        return self._emit(
+            Instruction(
+                Opcode.LW,
+                rd=parse_register(rd),
+                rs1=parse_register(base),
+                imm=int(offset),
+            )
+        )
+
+    def sw(self, rs_value, base, offset=0):
+        """Store register *rs_value* to the word at ``offset(base)``."""
+        return self._emit(
+            Instruction(
+                Opcode.SW,
+                rs1=parse_register(base),
+                rs2=parse_register(rs_value),
+                imm=int(offset),
+            )
+        )
+
+    # --- control ------------------------------------------------------------
+
+    def _branch(self, op, rs1, rs2, label):
+        return self._emit(
+            Instruction(
+                op, rs1=parse_register(rs1), rs2=parse_register(rs2), label=label
+            )
+        )
+
+    def beq(self, rs1, rs2, label):
+        return self._branch(Opcode.BEQ, rs1, rs2, label)
+
+    def bne(self, rs1, rs2, label):
+        return self._branch(Opcode.BNE, rs1, rs2, label)
+
+    def blt(self, rs1, rs2, label):
+        return self._branch(Opcode.BLT, rs1, rs2, label)
+
+    def bge(self, rs1, rs2, label):
+        return self._branch(Opcode.BGE, rs1, rs2, label)
+
+    def ble(self, rs1, rs2, label):
+        return self._branch(Opcode.BLE, rs1, rs2, label)
+
+    def bgt(self, rs1, rs2, label):
+        return self._branch(Opcode.BGT, rs1, rs2, label)
+
+    def j(self, label):
+        return self._emit(Instruction(Opcode.J, label=label))
+
+    def jal(self, label):
+        """Jump-and-link: saves the return PC in ``ra``."""
+        return self._emit(
+            Instruction(Opcode.JAL, rd=parse_register("ra"), label=label)
+        )
+
+    def jr(self, rs1="ra"):
+        return self._emit(Instruction(Opcode.JR, rs1=parse_register(rs1)))
+
+    def halt(self):
+        return self._emit(Instruction(Opcode.HALT))
+
+    def nop(self):
+        return self._emit(Instruction(Opcode.NOP))
+
+    # --- floating point -------------------------------------------------------
+
+    def fadd_s(self, rd, rs1, rs2):
+        return self._rrr(Opcode.FADD_S, rd, rs1, rs2)
+
+    def fsub_s(self, rd, rs1, rs2):
+        return self._rrr(Opcode.FSUB_S, rd, rs1, rs2)
+
+    def fmul_s(self, rd, rs1, rs2):
+        return self._rrr(Opcode.FMUL_S, rd, rs1, rs2)
+
+    def fdiv_s(self, rd, rs1, rs2):
+        return self._rrr(Opcode.FDIV_S, rd, rs1, rs2)
+
+    def fsqrt_s(self, rd, rs1):
+        return self._emit(
+            Instruction(
+                Opcode.FSQRT_S, rd=parse_register(rd), rs1=parse_register(rs1)
+            )
+        )
+
+    def fadd_d(self, rd, rs1, rs2):
+        return self._rrr(Opcode.FADD_D, rd, rs1, rs2)
+
+    def fsub_d(self, rd, rs1, rs2):
+        return self._rrr(Opcode.FSUB_D, rd, rs1, rs2)
+
+    def fmul_d(self, rd, rs1, rs2):
+        return self._rrr(Opcode.FMUL_D, rd, rs1, rs2)
+
+    def fdiv_d(self, rd, rs1, rs2):
+        return self._rrr(Opcode.FDIV_D, rd, rs1, rs2)
+
+    def fsqrt_d(self, rd, rs1):
+        return self._emit(
+            Instruction(
+                Opcode.FSQRT_D, rd=parse_register(rd), rs1=parse_register(rs1)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+
+    def assemble(self, entry=0) -> Program:
+        """Resolve labels and return a validated Program."""
+        if self._pending_labels:
+            raise ProgramError(
+                "labels defined past the last instruction: %r" % self._pending_labels
+            )
+        if isinstance(entry, str):
+            if entry not in self._labels:
+                raise ProgramError("unknown entry label: %r" % (entry,))
+            entry = self._labels[entry]
+        for inst in self._instructions:
+            if inst.label is not None:
+                if inst.label not in self._labels:
+                    raise ProgramError(
+                        "instruction %d (%s): undefined label %r"
+                        % (inst.pc, inst, inst.label)
+                    )
+                inst.target = self._labels[inst.label]
+        program = Program(
+            self.name,
+            self._instructions,
+            labels=self._labels,
+            initial_memory=self._initial_memory,
+            entry=entry,
+        )
+        return program.validate()

@@ -1,0 +1,114 @@
+"""Disassembler: Program -> parser-compatible assembly text.
+
+``disassemble(program)`` emits text that
+:func:`repro.isa.parser.parse_assembly` accepts and that reassembles
+into an equivalent program (same instruction stream, memory image, and
+entry point — label names are synthesized as ``L<pc>``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.isa.opcodes import Opcode, is_control
+from repro.isa.program import Program
+from repro.isa.registers import register_name
+
+#: Opcodes rendered as ``op rd, rs1, rs2``
+_RRR = {
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOR,
+    Opcode.SLT, Opcode.MUL, Opcode.DIV, Opcode.REM,
+    Opcode.FADD_S, Opcode.FSUB_S, Opcode.FMUL_S, Opcode.FDIV_S,
+    Opcode.FADD_D, Opcode.FSUB_D, Opcode.FMUL_D, Opcode.FDIV_D,
+}
+#: Opcodes rendered as ``op rd, rs1, imm``
+_RRI = {
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLTI,
+    Opcode.SLL, Opcode.SRL, Opcode.SRA,
+}
+#: Opcodes rendered as ``op rd, rs1``
+_RR = {Opcode.FSQRT_S, Opcode.FSQRT_D}
+#: Opcodes rendered as ``op rd, imm``
+_RI = {Opcode.LUI, Opcode.LI}
+
+_MNEMONIC = {op: op.value for op in Opcode}
+
+
+def _label(pc) -> str:
+    return "L%d" % pc
+
+
+def disassemble_instruction(inst, labels: Dict[int, str]) -> str:
+    """Render one instruction (without label/annotation lines)."""
+    op = inst.op
+    mnemonic = _MNEMONIC[op]
+    if op in _RRR:
+        return "%s %s, %s, %s" % (
+            mnemonic,
+            register_name(inst.rd),
+            register_name(inst.rs1),
+            register_name(inst.rs2),
+        )
+    if op in _RRI:
+        return "%s %s, %s, %d" % (
+            mnemonic,
+            register_name(inst.rd),
+            register_name(inst.rs1),
+            inst.imm,
+        )
+    if op in _RR:
+        return "%s %s, %s" % (mnemonic, register_name(inst.rd), register_name(inst.rs1))
+    if op in _RI:
+        return "%s %s, %d" % (mnemonic, register_name(inst.rd), inst.imm)
+    if op is Opcode.LW:
+        return "lw %s, %d(%s)" % (
+            register_name(inst.rd),
+            inst.imm,
+            register_name(inst.rs1),
+        )
+    if op is Opcode.SW:
+        return "sw %s, %d(%s)" % (
+            register_name(inst.rs2),
+            inst.imm,
+            register_name(inst.rs1),
+        )
+    if op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLE, Opcode.BGT):
+        return "%s %s, %s, %s" % (
+            mnemonic,
+            register_name(inst.rs1),
+            register_name(inst.rs2),
+            labels[inst.target],
+        )
+    if op in (Opcode.J, Opcode.JAL):
+        return "%s %s" % (mnemonic, labels[inst.target])
+    if op is Opcode.JR:
+        return "jr %s" % register_name(inst.rs1)
+    if op is Opcode.HALT:
+        return "halt"
+    if op is Opcode.NOP:
+        return "nop"
+    raise AssertionError("unhandled opcode %s" % op)  # pragma: no cover
+
+
+def disassemble(program: Program) -> str:
+    """Render a full program as assembly text."""
+    targets: Set[int] = set()
+    for inst in program:
+        if is_control(inst.op) and inst.target is not None:
+            targets.add(inst.target)
+    if program.entry != 0:
+        targets.add(program.entry)
+    labels = {pc: _label(pc) for pc in sorted(targets)}
+
+    lines = [".name %s" % program.name]
+    if program.entry != 0:
+        lines.append(".entry %s" % labels[program.entry])
+    for addr in sorted(program.initial_memory):
+        lines.append(".word %d %d" % (addr, program.initial_memory[addr]))
+    for pc, inst in enumerate(program.instructions):
+        if pc in labels:
+            lines.append("%s:" % labels[pc])
+        if inst.task_entry:
+            lines.append("    .task")
+        lines.append("    %s" % disassemble_instruction(inst, labels))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,152 @@
+"""Binary encoding of the repro RISC ISA.
+
+The paper's simulator consumes annotated big-endian MIPS binaries; this
+module provides the equivalent for the repro ISA: a fixed 64-bit
+big-endian encoding of each instruction plus an image format for whole
+programs (instructions, labels dropped, initial memory, entry point,
+task annotations preserved).
+
+Encoding layout (two 32-bit words per instruction):
+
+word 0:
+    bits 31..24  opcode ordinal
+    bits 23..18  rd  (0x3F when absent)
+    bits 17..12  rs1 (0x3F when absent)
+    bits 11..6   rs2 (0x3F when absent)
+    bit  5       task-entry flag
+    bits 4..0    reserved (zero)
+word 1:
+    either the signed 32-bit immediate, or the branch/jump target PC
+    for control opcodes that carry one.
+
+The encoding is intentionally simple — its purpose is byte-exact
+round-tripping for program images, not hardware realism.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode, is_control
+from repro.isa.program import Program, ProgramError
+
+#: sentinel for "no register" in the 6-bit fields
+_NO_REG = 0x3F
+
+_OPCODES = list(Opcode)
+_OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODES)}
+
+MAGIC = b"RPRO"
+VERSION = 1
+
+
+class EncodingError(Exception):
+    """Raised on malformed encodings or images."""
+
+
+def _reg_field(reg) -> int:
+    return _NO_REG if reg is None else reg
+
+
+def _reg_value(field) -> object:
+    return None if field == _NO_REG else field
+
+
+def encode_instruction(inst: Instruction) -> bytes:
+    """Encode one instruction to its 8-byte big-endian form."""
+    op_index = _OPCODE_INDEX[inst.op]
+    word0 = (
+        (op_index << 24)
+        | (_reg_field(inst.rd) << 18)
+        | (_reg_field(inst.rs1) << 12)
+        | (_reg_field(inst.rs2) << 6)
+        | (0x20 if inst.task_entry else 0)
+    )
+    if is_control(inst.op) and inst.target is not None:
+        word1 = inst.target
+    else:
+        word1 = inst.imm & 0xFFFFFFFF
+    return struct.pack(">II", word0, word1)
+
+
+def decode_instruction(blob: bytes) -> Instruction:
+    """Decode one 8-byte instruction."""
+    if len(blob) != 8:
+        raise EncodingError("instruction encodings are 8 bytes, got %d" % len(blob))
+    word0, word1 = struct.unpack(">II", blob)
+    op_index = word0 >> 24
+    if op_index >= len(_OPCODES):
+        raise EncodingError("invalid opcode ordinal %d" % op_index)
+    op = _OPCODES[op_index]
+    rd = _reg_value((word0 >> 18) & 0x3F)
+    rs1 = _reg_value((word0 >> 12) & 0x3F)
+    rs2 = _reg_value((word0 >> 6) & 0x3F)
+    task_entry = bool(word0 & 0x20)
+    imm = 0
+    target = None
+    if is_control(op) and op not in (Opcode.HALT, Opcode.JR):
+        target = word1
+    else:
+        imm = word1 if word1 < 0x80000000 else word1 - 0x100000000
+    return Instruction(
+        op, rd=rd, rs1=rs1, rs2=rs2, imm=imm, target=target, task_entry=task_entry
+    )
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialize a program to a binary image."""
+    parts = [MAGIC, struct.pack(">HHII", VERSION, 0, len(program), program.entry)]
+    for inst in program.instructions:
+        parts.append(encode_instruction(inst))
+    memory = sorted(program.initial_memory.items())
+    parts.append(struct.pack(">I", len(memory)))
+    for addr, value in memory:
+        if not isinstance(value, int):
+            raise EncodingError(
+                "initial memory value at %d is not an integer: %r" % (addr, value)
+            )
+        parts.append(struct.pack(">Iq", addr, value))
+    name = program.name.encode("utf-8")
+    parts.append(struct.pack(">H", len(name)))
+    parts.append(name)
+    return b"".join(parts)
+
+
+def decode_program(blob: bytes) -> Program:
+    """Deserialize a binary image back into a validated Program."""
+    if blob[:4] != MAGIC:
+        raise EncodingError("bad magic; not a repro program image")
+    offset = 4
+    version, _pad, count, entry = struct.unpack_from(">HHII", blob, offset)
+    if version != VERSION:
+        raise EncodingError("unsupported image version %d" % version)
+    offset += struct.calcsize(">HHII")
+    instructions = []
+    for _ in range(count):
+        instructions.append(decode_instruction(blob[offset : offset + 8]))
+        offset += 8
+    (n_memory,) = struct.unpack_from(">I", blob, offset)
+    offset += 4
+    memory = {}
+    for _ in range(n_memory):
+        addr, value = struct.unpack_from(">Iq", blob, offset)
+        offset += struct.calcsize(">Iq")
+        memory[addr] = value
+    (name_len,) = struct.unpack_from(">H", blob, offset)
+    offset += 2
+    name = blob[offset : offset + name_len].decode("utf-8")
+    program = Program(name, instructions, initial_memory=memory, entry=entry)
+    return program.validate()
+
+
+def save_program(program: Program, path):
+    """Write a program image to *path*."""
+    with open(path, "wb") as fh:
+        fh.write(encode_program(program))
+
+
+def load_program(path) -> Program:
+    """Read a program image from *path*."""
+    with open(path, "rb") as fh:
+        return decode_program(fh.read())

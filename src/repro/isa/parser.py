@@ -1,0 +1,171 @@
+"""Text assembly parser.
+
+Accepts a conventional assembly syntax and produces a validated
+:class:`~repro.isa.program.Program` via the
+:class:`~repro.isa.assembler.Assembler` DSL::
+
+    .name counter
+    .word 0x100 0          # initial memory
+        li   s1, 0x100
+        li   s3, 0
+        li   s4, 10
+    loop:
+        .task              # the next instruction starts a task
+        addi s3, s3, 1
+        lw   t0, 0(s1)
+        addi t0, t0, 1
+        sw   t0, 0(s1)
+        blt  s3, s4, loop
+        halt
+
+Comments run from ``#`` or ``;`` to end of line.  Memory operands use
+``offset(base)``.  Directives: ``.name``, ``.entry``, ``.word``,
+``.task``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program, ProgramError
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.$]*):$")
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+#: mnemonic -> Assembler method (identity unless renamed)
+_METHOD_FOR = {
+    "and": "and_",
+    "or": "or_",
+    "fadd.s": "fadd_s",
+    "fsub.s": "fsub_s",
+    "fmul.s": "fmul_s",
+    "fdiv.s": "fdiv_s",
+    "fsqrt.s": "fsqrt_s",
+    "fadd.d": "fadd_d",
+    "fsub.d": "fsub_d",
+    "fmul.d": "fmul_d",
+    "fdiv.d": "fdiv_d",
+    "fsqrt.d": "fsqrt_d",
+}
+
+#: mnemonics whose final operand is a label
+_BRANCHES = {"beq", "bne", "blt", "bge", "ble", "bgt"}
+_JUMPS = {"j", "jal"}
+_MEMORY = {"lw", "sw"}
+
+
+class ParseError(ProgramError):
+    """Raised with a line number when the source cannot be parsed."""
+
+    def __init__(self, lineno, message):
+        super().__init__("line %d: %s" % (lineno, message))
+        self.lineno = lineno
+
+
+def _to_int(token, lineno):
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise ParseError(lineno, "expected an integer, got %r" % token) from None
+
+
+def _split_operands(rest):
+    return [part.strip() for part in rest.split(",") if part.strip()] if rest else []
+
+
+def parse_assembly(source, name="program") -> Program:
+    """Parse assembly text into a validated Program."""
+    asm = Assembler(name)
+    entry = 0
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = re.split(r"[#;]", raw, maxsplit=1)[0].strip()
+        if not line:
+            continue
+
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            asm.label(label_match.group(1))
+            continue
+
+        head, _, rest = line.partition(" ")
+        mnemonic = head.lower()
+        operands = _split_operands(rest.strip())
+
+        if mnemonic == ".name":
+            if not operands:
+                raise ParseError(lineno, ".name needs a value")
+            asm.name = operands[0]
+            continue
+        if mnemonic == ".entry":
+            if not operands:
+                raise ParseError(lineno, ".entry needs a label or PC")
+            entry = operands[0]
+            if re.fullmatch(r"-?\d+|0[xX][0-9a-fA-F]+", entry):
+                entry = _to_int(entry, lineno)
+            continue
+        if mnemonic == ".word":
+            tokens = re.split(r"[,\s]+", rest.strip())
+            tokens = [t for t in tokens if t]
+            if len(tokens) < 2:
+                raise ParseError(lineno, ".word needs an address and value(s)")
+            addr = _to_int(tokens[0], lineno)
+            try:
+                asm.data(addr, [_to_int(v, lineno) for v in tokens[1:]])
+            except ProgramError as exc:
+                raise ParseError(lineno, str(exc)) from None
+            continue
+        if mnemonic == ".task":
+            asm.task_begin()
+            continue
+        if mnemonic.startswith("."):
+            raise ParseError(lineno, "unknown directive %r" % mnemonic)
+
+        method_name = _METHOD_FOR.get(mnemonic, mnemonic)
+        method = getattr(asm, method_name, None)
+        if method is None or method_name.startswith("_"):
+            raise ParseError(lineno, "unknown mnemonic %r" % mnemonic)
+
+        try:
+            if mnemonic in _MEMORY:
+                if len(operands) != 2:
+                    raise ParseError(lineno, "%s needs 2 operands" % mnemonic)
+                mem = _MEM_RE.match(operands[1])
+                if not mem:
+                    raise ParseError(
+                        lineno, "expected offset(base), got %r" % operands[1]
+                    )
+                offset = _to_int(mem.group(1), lineno)
+                method(operands[0], mem.group(2), offset)
+            elif mnemonic in _BRANCHES:
+                if len(operands) != 3:
+                    raise ParseError(lineno, "%s needs 3 operands" % mnemonic)
+                method(operands[0], operands[1], operands[2])
+            elif mnemonic in _JUMPS:
+                if len(operands) != 1:
+                    raise ParseError(lineno, "%s needs a label" % mnemonic)
+                method(operands[0])
+            else:
+                converted = [
+                    _to_int(tok, lineno)
+                    if re.fullmatch(r"-?\d+|0[xX][0-9a-fA-F]+", tok)
+                    else tok
+                    for tok in operands
+                ]
+                method(*converted)
+        except ParseError:
+            raise
+        except (KeyError, ValueError, TypeError, ProgramError) as exc:
+            raise ParseError(lineno, str(exc)) from None
+
+    try:
+        return asm.assemble(entry=entry)
+    except ProgramError as exc:
+        raise ProgramError("assembly failed: %s" % exc) from None
+
+
+def parse_file(path) -> Program:
+    """Parse an assembly source file."""
+    with open(path) as fh:
+        return parse_assembly(fh.read())

@@ -1,0 +1,102 @@
+"""Address Resolution Buffer (ARB).
+
+The ARB (Franklin & Sohi, reference [8] of the paper) is the Multiscalar
+mechanism that detects memory-dependence mis-speculations: it tracks,
+per address, which dynamic loads and stores have been *performed* and
+from which task (stage), and flags a violation when a store performs
+after a sequentially-later load to the same address has already
+performed without an intervening store.
+
+The timing simulator uses the equivalent oracle-based check for speed;
+``tests/memsys/test_arb.py`` property-checks that this structure and the
+oracle agree on randomized access interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A detected memory-dependence mis-speculation."""
+
+    addr: int
+    store_seq: int
+    load_seq: int
+
+
+class AddressResolutionBuffer:
+    """Tracks performed accesses per address and detects violations.
+
+    Sequence numbers order accesses in program (commit) order; an access
+    is *performed* when it actually touches memory in the out-of-order
+    execution.  Capacity is the number of distinct addresses tracked
+    simultaneously (the paper banks 32 entries per data bank).
+    """
+
+    def __init__(self, capacity=256):
+        if capacity <= 0:
+            raise ValueError("ARB capacity must be positive")
+        self.capacity = capacity
+        # addr -> sorted-insertion list of (seq, is_store) performed accesses
+        self._entries: Dict[int, List[Tuple[int, bool]]] = {}
+        self.overflow_count = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def _bucket(self, addr):
+        bucket = self._entries.get(addr)
+        if bucket is None:
+            if len(self._entries) >= self.capacity:
+                # A real ARB stalls or squashes on overflow; we only count it,
+                # since the timing simulator bounds in-flight addresses anyway.
+                self.overflow_count += 1
+            bucket = self._entries[addr] = []
+        return bucket
+
+    def record_load(self, addr, seq):
+        """Record that load *seq* performed its access to *addr*."""
+        self._bucket(addr).append((seq, False))
+
+    def record_store(self, addr, seq) -> List[Violation]:
+        """Record that store *seq* performed; return violations it exposes.
+
+        A violation is any already-performed load with a higher sequence
+        number and no already-performed intervening store between this
+        store and that load.
+        """
+        bucket = self._bucket(addr)
+        later_stores = sorted(s for s, is_store in bucket if is_store and s > seq)
+        violations = []
+        for other_seq, is_store in bucket:
+            if is_store or other_seq < seq:
+                continue
+            # nearest performed store below the load, among stores > seq
+            intervening = any(seq < s < other_seq for s in later_stores)
+            if not intervening:
+                violations.append(Violation(addr, seq, other_seq))
+        bucket.append((seq, True))
+        return violations
+
+    def squash_from(self, seq):
+        """Remove all performed accesses with sequence number >= *seq*."""
+        empty = []
+        for addr, bucket in self._entries.items():
+            bucket[:] = [(s, st) for s, st in bucket if s < seq]
+            if not bucket:
+                empty.append(addr)
+        for addr in empty:
+            del self._entries[addr]
+
+    def commit_below(self, seq):
+        """Drop tracking for accesses older than *seq* (they are committed)."""
+        empty = []
+        for addr, bucket in self._entries.items():
+            bucket[:] = [(s, st) for s, st in bucket if s >= seq]
+            if not bucket:
+                empty.append(addr)
+        for addr in empty:
+            del self._entries[addr]

@@ -1,0 +1,80 @@
+"""Instruction cache model.
+
+The paper's configuration gives each processing unit 32 KB of 2-way
+set-associative instruction cache with 64-byte blocks: an access
+returns 4 words in 1 cycle on a hit and pays a 10+3-cycle penalty on a
+miss (Section 5.2).  The simulator leaves fetch ideal by default (the
+dependence experiments are insensitive to it for loop-dominated
+kernels); set ``MultiscalarConfig.model_icache = True`` to model it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class ICacheConfig:
+    size_bytes: int = 32 * 1024
+    ways: int = 2
+    block_bytes: int = 64
+    hit_latency: int = 1
+    miss_penalty: int = 13  # 10 bus + 3 fill
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.block_bytes * self.ways)
+
+    def set_of(self, addr) -> int:
+        return (addr // self.block_bytes) % self.sets
+
+    def tag_of(self, addr) -> int:
+        return addr // self.block_bytes // self.sets
+
+
+class InstructionCache:
+    """2-way set-associative i-cache with true LRU per set."""
+
+    def __init__(self, config=None):
+        self.config = config or ICacheConfig()
+        # per set: list of tags in LRU order (front = LRU, back = MRU)
+        self._sets: Dict[int, List[int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr) -> int:
+        """Access the block containing *addr*; return the latency."""
+        cfg = self.config
+        index = cfg.set_of(addr)
+        tag = cfg.tag_of(addr)
+        ways = self._sets.setdefault(index, [])
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.hits += 1
+            return cfg.hit_latency
+        self.misses += 1
+        if len(ways) >= cfg.ways:
+            ways.pop(0)
+        ways.append(tag)
+        return cfg.hit_latency + cfg.miss_penalty
+
+    def lookup(self, addr) -> bool:
+        """Non-mutating hit check."""
+        cfg = self.config
+        return cfg.tag_of(addr) in self._sets.get(cfg.set_of(addr), ())
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset(self):
+        self._sets = {}
+        self.hits = 0
+        self.misses = 0

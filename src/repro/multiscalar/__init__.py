@@ -1,0 +1,51 @@
+"""Multiscalar processor substrate: config, sequencer, policies, simulator."""
+
+from repro.multiscalar.debug import TimelineRecorder, ViolationRecord
+from repro.multiscalar.config import (
+    FU_COUNTS,
+    FU_LATENCIES,
+    MultiscalarConfig,
+    eight_stage,
+    four_stage,
+)
+from repro.multiscalar.policies import (
+    AlwaysPolicy,
+    MechanismPolicy,
+    NeverPolicy,
+    PerfectSyncPolicy,
+    SpeculationPolicy,
+    StoreSetPolicy,
+    ValueSyncPolicy,
+    WaitPolicy,
+    make_policy,
+)
+from repro.multiscalar.processor import (
+    MultiscalarSimulator,
+    SimulationError,
+    simulate,
+)
+from repro.multiscalar.sequencer import PathBasedTaskPredictor, ReturnAddressStack
+
+__all__ = [
+    "AlwaysPolicy",
+    "FU_COUNTS",
+    "FU_LATENCIES",
+    "MechanismPolicy",
+    "MultiscalarConfig",
+    "MultiscalarSimulator",
+    "NeverPolicy",
+    "PathBasedTaskPredictor",
+    "PerfectSyncPolicy",
+    "ReturnAddressStack",
+    "SimulationError",
+    "SpeculationPolicy",
+    "StoreSetPolicy",
+    "TimelineRecorder",
+    "ValueSyncPolicy",
+    "ViolationRecord",
+    "WaitPolicy",
+    "eight_stage",
+    "four_stage",
+    "make_policy",
+    "simulate",
+]

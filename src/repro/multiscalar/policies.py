@@ -1,0 +1,507 @@
+"""Data dependence speculation policies (paper Sections 5.4 and 5.5).
+
+Four reference policies plus the proposed mechanism:
+
+* ``NEVER`` — no data dependence speculation: a load may access memory
+  only after every preceding in-flight store has computed its address
+  and any matching store has executed.
+* ``ALWAYS`` — blind speculation (the policy of the era's OoO
+  processors): a load accesses memory as soon as its address is ready.
+* ``WAIT`` — selective speculation with perfect dependence prediction:
+  loads with a true in-window dependence are not speculated (they wait
+  for address resolution of all earlier stores); independent loads run
+  free.  No explicit synchronization — this is the policy Figure 1(d)
+  shows losing to blind speculation.
+* ``PSYNC`` — perfect prediction *and* perfect synchronization: a
+  dependent load waits exactly until its producing store executes; the
+  upper bound for the proposed mechanism.
+* ``MECHANISM`` — the MDPT/MDST implementation of Section 4 with a
+  pluggable predictor ("always", "sync", or "esync").
+
+Each policy instance is single-run state; create a fresh one per
+simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.engine import SynchronizationEngine
+from repro.core.mdpt import MDPT
+from repro.core.mdst import MDST
+from repro.core.predictors import make_predictor
+from repro.core.unified import SlottedMDST
+
+
+class SpeculationPolicy:
+    """Interface between the timing simulator and a speculation policy."""
+
+    name = "abstract"
+
+    def bind(self, sim):
+        """Attach to a simulator instance before the run starts."""
+        self.sim = sim
+
+    def may_issue_load(self, seq, now) -> bool:
+        """May the operand-ready load *seq* access memory at *now*?
+
+        Called once per cycle per ready load until it returns True.
+        """
+        raise NotImplementedError
+
+    def on_store_issued(self, seq, now):
+        """A store issued: its address and data just entered the ARB."""
+
+    def on_store_executed(self, seq, now):
+        """A store (re-)announced after a violation it caused."""
+
+    def on_violation(self, store_seq, load_seq, now):
+        """A dependence mis-speculation was detected."""
+
+    def absolves_violation(self, store_seq, load_seq) -> bool:
+        """True when an apparent order violation is actually fine —
+        e.g. the load ran early on a correctly predicted value."""
+        return False
+
+    def on_squash(self, first_seq, now):
+        """Instruction *first_seq* and everything younger were squashed."""
+
+    def on_task_dispatched(self, task_id, now):
+        """A task entered the window (its instructions are now fetched)."""
+
+    def on_task_committed(self, task_id, now):
+        """The head task committed (apply non-speculative updates)."""
+
+
+class AlwaysPolicy(SpeculationPolicy):
+    """Blind speculation."""
+
+    name = "ALWAYS"
+
+    def may_issue_load(self, seq, now):
+        return True
+
+
+class NeverPolicy(SpeculationPolicy):
+    """No data dependence speculation."""
+
+    name = "NEVER"
+
+    def may_issue_load(self, seq, now):
+        sim = self.sim
+        return sim.all_prior_stores_issued(seq) and not sim.producer_pending(seq)
+
+
+class WaitPolicy(SpeculationPolicy):
+    """Selective speculation with perfect dependence prediction.
+
+    A load predicted dependent (its producing store is inside the
+    current window) is simply *not speculated*: with no explicit
+    synchronization it cannot tell which of the preceding stores feeds
+    it, so it waits until the addresses of all earlier unexecuted
+    stores are known to differ and any matching store has executed —
+    even if its actual producer finished long ago (Figure 1(d)).
+    """
+
+    name = "WAIT"
+
+    def may_issue_load(self, seq, now):
+        sim = self.sim
+        producer = sim.producers.get(seq)
+        if producer is None or sim.task_of[producer] < sim.head_task:
+            return True  # no true dependence within the current window
+        return sim.all_prior_stores_issued(seq) and not sim.producer_pending(seq)
+
+
+class PerfectSyncPolicy(SpeculationPolicy):
+    """Perfect prediction and synchronization (upper bound)."""
+
+    name = "PSYNC"
+
+    def may_issue_load(self, seq, now):
+        return not self.sim.producer_pending(seq)
+
+
+class MechanismPolicy(SpeculationPolicy):
+    """The proposed MDPT/MDST mechanism (paper Section 5.5).
+
+    The evaluated organization combines both tables: *capacity* MDPT
+    entries, each carrying one synchronization slot per stage
+    (``structure="unified"``, the paper's Section 5.5 configuration).
+    ``structure="split"`` keeps a separate MDST pool of
+    ``mdst_capacity`` entries instead.  Dynamic dependence edges are
+    tagged with the instance distance by default (``tagging=
+    "distance"``); ``tagging="address"`` uses the accessed data address
+    as the handle instead — the alternative of Section 3 that the
+    ablation benchmarks compare.  Predictor updates are buffered per
+    task and applied only when the task commits (non-speculative
+    updates, per the paper).
+    """
+
+    _NOT_SEEN, _PARKED, _CLEARED = 0, 1, 2
+
+    def __init__(
+        self,
+        predictor="sync",
+        capacity=64,
+        structure="unified",
+        tagging="distance",
+        mdst_capacity=None,
+        **predictor_kwargs,
+    ):
+        if structure not in ("unified", "split"):
+            raise ValueError("unknown structure %r" % (structure,))
+        if tagging not in ("distance", "address"):
+            raise ValueError("unknown tagging %r" % (tagging,))
+        self.predictor_name = predictor
+        self.capacity = capacity
+        self.structure = structure
+        self.tagging = tagging
+        self.mdst_capacity = mdst_capacity
+        self.predictor_kwargs = predictor_kwargs
+        self.engine = None
+
+    @property
+    def name(self):
+        return self.predictor_name.upper()
+
+    def _instance_of(self, entry):
+        """The dynamic tag: task id (distance tagging, the paper's
+        evaluated scheme) or the accessed data address."""
+        if self.tagging == "distance":
+            return entry.task_id
+        return entry.addr
+
+    def bind(self, sim):
+        super().bind(sim)
+        stages = sim.config.stages
+        predictor = make_predictor(self.predictor_name, **self.predictor_kwargs)
+        mdpt = MDPT(self.capacity, predictor)
+        if self.structure == "unified":
+            mdst = SlottedMDST(self.capacity * stages, slots_per_pair=stages)
+        else:
+            mdst = MDST(self.mdst_capacity or self.capacity * stages)
+        self.engine = SynchronizationEngine(mdpt, mdst)
+        n = len(sim.trace)
+        self._status = [self._NOT_SEEN] * n
+        self._wake_time = [0] * n
+        # per-task buffers of deferred predictor updates: (kind, pair)
+        self._pending_updates: Dict[int, list] = {}
+
+    # -- helpers ---------------------------------------------------------
+
+    def _defer(self, seq, kind, payload):
+        task_id = self.sim.trace[seq].task_id
+        self._pending_updates.setdefault(task_id, []).append((kind, payload, seq))
+
+    def _park_or_clear(self, seq, now):
+        """First attempt: run the load through the MDPT/MDST."""
+        sim = self.sim
+        entry = sim.trace[seq]
+        task_id = entry.task_id
+        result = self.engine.load_request(
+            entry.pc,
+            self._instance_of(entry),
+            seq,
+            task_pc_of=sim.task_pc_at if self.tagging == "distance" else None,
+        )
+        if result.proceed:
+            self._status[seq] = self._CLEARED
+            if result.predicted:
+                # predicted dependence satisfied without waiting: the
+                # paper's accounting books this as "no dependence" (Y/N),
+                # but the synchronization did its job, so strengthen.
+                sim.classify_load(seq, "yn")
+                for e in result.matched_entries:
+                    self._defer(seq, "reward", (e.store_pc, e.load_pc))
+            else:
+                sim.classify_load(seq, "nn")
+            return True
+        self._status[seq] = self._PARKED
+        return False
+
+    # -- SpeculationPolicy interface --------------------------------------
+
+    def may_issue_load(self, seq, now):
+        sim = self.sim
+        status = self._status[seq]
+        if status == self._CLEARED:
+            return now >= self._wake_time[seq]
+        if status == self._NOT_SEEN:
+            return self._park_or_clear(seq, now)
+        # parked: woken by a store signal?  (the engine freed the entry
+        # and the simulator recorded the wake via wake_load)
+        if self._wake_time[seq] > 0:
+            self._status[seq] = self._CLEARED
+            return now >= self._wake_time[seq]
+        # fallback: all prior stores executed -> force release
+        if sim.all_prior_stores_executed(seq):
+            pairs = self.engine.release_load(seq)
+            for pair in pairs:
+                self._defer(seq, "penalize", pair)
+            sim.classify_load(seq, "yn")
+            self._status[seq] = self._CLEARED
+            return True
+        return False
+
+    def wake_load(self, seq, now):
+        """A store signalled this parked load: it may run next cycle."""
+        self.sim.classify_load(seq, "yy")
+        self._defer(seq, "reward_all", seq)
+        self._wake_time[seq] = now + 1
+
+    def on_store_issued(self, seq, now):
+        """The paper signals when the store is ready to access memory
+        (Figure 4 action 5), concurrent with its cache access."""
+        sim = self.sim
+        entry = sim.trace[seq]
+        woken = self.engine.store_request(
+            entry.pc, self._instance_of(entry), stid=seq, task_pc=entry.task_pc
+        )
+        for load_seq in woken:
+            self.wake_load(load_seq, now)
+
+    def on_store_executed(self, seq, now):
+        # re-announce after a violation so the squashed load finds a
+        # pre-set full condition variable when it re-executes
+        self.on_store_issued(seq, now)
+
+    def on_violation(self, store_seq, load_seq, now):
+        sim = self.sim
+        store = sim.trace[store_seq]
+        load = sim.trace[load_seq]
+        if self.tagging == "distance":
+            distance = load.task_id - store.task_id
+        else:
+            distance = 0  # address tags match directly; no offset needed
+        self.engine.record_mis_speculation(
+            store.pc,
+            load.pc,
+            distance=distance,
+            store_task_pc=store.task_pc,
+        )
+
+    def on_squash(self, first_seq, now):
+        sim = self.sim
+        first_task = sim.trace[first_seq].task_id
+        for task_id, updates in list(self._pending_updates.items()):
+            if task_id < first_task:
+                continue
+            kept = [u for u in updates if u[2] < first_seq]
+            if kept:
+                self._pending_updates[task_id] = kept
+            else:
+                del self._pending_updates[task_id]
+        for seq in sim.squashed_seqs(first_seq):
+            self._status[seq] = self._NOT_SEEN
+            self._wake_time[seq] = 0
+        self.engine.squash(
+            lambda ldid: ldid >= first_seq,
+            lambda stid: stid >= first_seq,
+        )
+
+    def on_task_committed(self, task_id, now):
+        for kind, payload, _seq in self._pending_updates.pop(task_id, ()):
+            if kind == "reward":
+                self.engine.reward_pair(*payload)
+            elif kind == "penalize":
+                self.engine.penalize_pair(*payload)
+            elif kind == "reward_all":
+                # reward every MDPT entry that predicted this load; the
+                # load PC is enough — the signalled pair(s) match it.
+                load_pc = self.sim.trace[payload].pc
+                for entry in list(self.engine.mdpt.lookup_load(load_pc)):
+                    self.engine.reward_pair(entry.store_pc, entry.load_pc)
+
+
+class ValueSyncPolicy(MechanismPolicy):
+    """VSYNC: value-predict dependence-likely loads (paper Section 6).
+
+    Where the base mechanism parks a predicted-dependent load until its
+    store signals, VSYNC first consults a value predictor: a confident
+    prediction lets the load execute immediately with the predicted
+    value.  When the producing store arrives, the prediction is
+    verified against the architecturally-correct value; a mismatch
+    squashes the load and everything younger.  Loads without a
+    confident value prediction fall back to synchronization.
+    """
+
+    def __init__(self, predictor="esync", value_predictor="stride", **kwargs):
+        super().__init__(predictor=predictor, **kwargs)
+        self.value_predictor_name = value_predictor
+
+    @property
+    def name(self):
+        return "VSYNC"
+
+    def bind(self, sim):
+        from repro.core.value_prediction import make_value_predictor
+
+        super().bind(sim)
+        self.values = make_value_predictor(self.value_predictor_name)
+        self._value_speculated: Dict[int, object] = {}
+        self._verified_ok = set()
+        self._trained = set()
+        self.value_speculations = 0
+
+    def _park_or_clear(self, seq, now):
+        entry = self.sim.trace[seq]
+        # the prediction for THIS load must precede its own training
+        predicted = self.values.predict(entry.pc)
+        if seq not in self._trained:
+            # value predictors train speculatively at execute time; one
+            # training per dynamic instance, squash or not
+            self._trained.add(seq)
+            self.values.train(entry.pc, entry.value)
+        proceeded = super()._park_or_clear(seq, now)
+        if proceeded or self._status[seq] != self._PARKED:
+            return proceeded
+        if predicted is None:
+            return False  # no confidence: stay parked on the MDST
+        # drop the condition variables and run with the predicted value
+        for cv in self.engine.mdst.entries_for_ldid(seq):
+            self.engine.mdst.free(cv)
+        self._value_speculated[seq] = predicted
+        self.value_speculations += 1
+        self._status[seq] = self._CLEARED
+        self.sim.classify_load(seq, "yy")
+        return True
+
+    def on_store_issued(self, seq, now):
+        super().on_store_issued(seq, now)
+        sim = self.sim
+        for load_seq in sim.dependents.get(seq, ()):
+            predicted = self._value_speculated.pop(load_seq, None)
+            if predicted is None:
+                continue
+            if not sim.issued[load_seq]:
+                continue
+            actual = sim.trace[load_seq].value
+            correct = predicted == actual
+            self.values.record_outcome(correct)
+            if correct:
+                self._verified_ok.add(load_seq)
+            else:
+                sim.squash_for_value_mismatch(load_seq, now)
+
+    def absolves_violation(self, store_seq, load_seq):
+        return load_seq in self._verified_ok
+
+    def on_squash(self, first_seq, now):
+        super().on_squash(first_seq, now)
+        for seq in list(self._value_speculated):
+            if seq >= first_seq:
+                del self._value_speculated[seq]
+        self._verified_ok = {s for s in self._verified_ok if s < first_seq}
+
+    def on_task_committed(self, task_id, now):
+        super().on_task_committed(task_id, now)
+        for seq in self.sim.tasks[task_id]:
+            self._value_speculated.pop(seq, None)
+            self._verified_ok.discard(seq)
+            self._trained.discard(seq)
+
+
+class StoreSetPolicy(SpeculationPolicy):
+    """Memory dependence speculation via store sets (Chrysos & Emer,
+    ISCA 1998) — the successor mechanism, provided for head-to-head
+    comparison with the paper's MDPT/MDST on the same substrate.
+
+    At task dispatch every memory instruction passes the SSIT/LFST in
+    program order: stores install themselves, loads record the specific
+    in-flight store they must wait for.  A waiting load issues once
+    that store has performed; violations merge the pair's store sets.
+    """
+
+    name = "STORESET"
+
+    def __init__(self, ssit_size=1024, lfst_size=256):
+        self.ssit_size = ssit_size
+        self.lfst_size = lfst_size
+
+    def bind(self, sim):
+        super().bind(sim)
+        from repro.core.store_sets import StoreSetPredictor
+
+        self.predictor = StoreSetPredictor(self.ssit_size, self.lfst_size)
+        self._wait_for: Dict[int, int] = {}  # load seq -> store seq
+
+    def on_task_dispatched(self, task_id, now):
+        sim = self.sim
+        for seq in sim.tasks[task_id]:
+            entry = sim.trace[seq]
+            if entry.is_store:
+                self.predictor.store_fetched(entry.pc, seq)
+            elif entry.is_load:
+                dep = self.predictor.load_fetched(entry.pc)
+                if dep is not None:
+                    self._wait_for[seq] = dep
+
+    def may_issue_load(self, seq, now):
+        dep = self._wait_for.get(seq)
+        if dep is None:
+            return True
+        sim = self.sim
+        if sim.issued[dep] and sim._store_perform[dep] <= now:
+            del self._wait_for[seq]
+            return True
+        if not sim.issued[dep] and sim.all_prior_stores_executed(seq):
+            # safety valve mirroring the MDST fallback: the tracked store
+            # was squashed away or reordered; never deadlock
+            del self._wait_for[seq]
+            return True
+        return False
+
+    def on_store_issued(self, seq, now):
+        self.predictor.store_issued(self.sim.trace[seq].pc, seq)
+
+    def on_violation(self, store_seq, load_seq, now):
+        trace = self.sim.trace
+        self.predictor.on_violation(trace[store_seq].pc, trace[load_seq].pc)
+
+    def on_squash(self, first_seq, now):
+        self.predictor.squash(lambda store_id: store_id >= first_seq)
+        for load_seq in list(self._wait_for):
+            if load_seq >= first_seq:
+                del self._wait_for[load_seq]
+        # squashed instructions re-fetch through the SSIT/LFST in program
+        # order, exactly like their original dispatch
+        sim = self.sim
+        for seq in sim.squashed_seqs(first_seq):
+            entry = sim.trace[seq]
+            if entry.is_store:
+                self.predictor.store_fetched(entry.pc, seq)
+            elif entry.is_load:
+                dep = self.predictor.load_fetched(entry.pc)
+                if dep is not None and not (
+                    sim.issued[dep] and sim._store_perform[dep] <= now
+                ):
+                    self._wait_for[seq] = dep
+
+
+def make_policy(name, **kwargs) -> SpeculationPolicy:
+    """Policy factory.
+
+    Accepted names: "never", "always", "wait", "psync", the mechanism
+    predictors "sync", "esync", "always-sync" (MDPT/MDST with the
+    always-synchronize predictor), and "vsync" (the Section 6 hybrid:
+    value-predict dependence-likely loads).
+    """
+    lowered = name.lower()
+    simple = {
+        "never": NeverPolicy,
+        "always": AlwaysPolicy,
+        "wait": WaitPolicy,
+        "psync": PerfectSyncPolicy,
+    }
+    if lowered in simple:
+        return simple[lowered]()
+    if lowered in ("sync", "esync"):
+        return MechanismPolicy(predictor=lowered, **kwargs)
+    if lowered == "always-sync":
+        return MechanismPolicy(predictor="always", **kwargs)
+    if lowered == "vsync":
+        return ValueSyncPolicy(**kwargs)
+    if lowered == "storeset":
+        return StoreSetPolicy(**kwargs)
+    raise ValueError("unknown policy %r" % (name,))

@@ -1,0 +1,727 @@
+"""The Multiscalar timing simulator.
+
+A trace-driven, cycle-level model of the paper's evaluation vehicle
+(Section 5.2): *stages* processing units execute consecutive tasks of
+the committed instruction trace; each unit issues up to 2 instructions
+per cycle out of order from its task, bounded by per-class functional
+units; register values produced in earlier tasks arrive over a
+unidirectional ring (1 cycle per hop); loads and stores access a banked
+data cache; inter-task memory dependences are speculated according to a
+pluggable :class:`~repro.multiscalar.policies.SpeculationPolicy`;
+violations squash the offending task and its successors, which then
+re-execute.
+
+Being trace-driven, data values are always architecturally correct —
+the simulator accounts the *timing* of speculation, synchronization,
+squash, and re-execution, which is what the paper's experiments
+measure.  Wrong-path instructions after a sequencer misprediction are
+not executed; their cost is modeled as a dispatch delay
+(``mispredict_penalty`` after the mispredicting task resolves).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+from repro.core.stats import SpeculationStats
+from repro.memsys.cache import BankedCache
+from repro.memsys.icache import InstructionCache
+from repro.multiscalar.config import MultiscalarConfig
+from repro.multiscalar.policies import AlwaysPolicy, SpeculationPolicy
+from repro.multiscalar.sequencer import PathBasedTaskPredictor
+
+
+class SimulationError(Exception):
+    """Raised when the simulator cannot make progress (a model bug)."""
+
+
+class _LazyMinSet:
+    """A set of integers with O(log n) amortized minimum queries."""
+
+    def __init__(self, items=()):
+        self._set = set(items)
+        self._heap = list(self._set)
+        heapq.heapify(self._heap)
+
+    def __contains__(self, item):
+        return item in self._set
+
+    def add(self, item):
+        if item not in self._set:
+            self._set.add(item)
+            heapq.heappush(self._heap, item)
+
+    def discard(self, item):
+        self._set.discard(item)
+
+    def minimum(self) -> Optional[int]:
+        heap = self._heap
+        while heap and heap[0] not in self._set:
+            heapq.heappop(heap)
+        return heap[0] if heap else None
+
+
+class MultiscalarSimulator:
+    """Simulates one trace under one configuration and policy."""
+
+    def __init__(self, trace, config=None, policy: Optional[SpeculationPolicy] = None):
+        self.trace = trace
+        self.config = config or MultiscalarConfig()
+        self.policy = policy or AlwaysPolicy()
+        self.cache = BankedCache(self.config.make_cache_config())
+        self.stats = SpeculationStats()
+        self._prepare_static()
+
+    # ------------------------------------------------------------------
+    # static preprocessing
+    # ------------------------------------------------------------------
+
+    def _prepare_static(self):
+        trace = self.trace
+        entries = trace.entries
+        n = len(entries)
+        self.n = n
+
+        # tasks
+        self.tasks: List[List[int]] = [
+            [e.seq for e in slice_] for slice_ in trace.task_slices()
+        ]
+        self.n_tasks = len(self.tasks)
+        self.task_of = [0] * n
+        self.index_in_task = [0] * n
+        self.task_pcs = [0] * self.n_tasks
+        for t, seqs in enumerate(self.tasks):
+            self.task_pcs[t] = entries[seqs[0]].task_pc
+            for idx, seq in enumerate(seqs):
+                self.task_of[seq] = t
+                self.index_in_task[seq] = idx
+
+        # register dataflow per source operand: (register, producer seq or
+        # None, penultimate-writer seq or None).  The non-oracle register
+        # models also need the producer -> consumers map (violation
+        # detection) and per-task-entry static write-sets (conservative
+        # maybe-writer stalls).
+        reg_mode = self.config.register_speculation
+        last_writer: Dict[int, int] = {}
+        prev_writer: Dict[int, Optional[int]] = {}
+        self.src_operands: List[tuple] = [()] * n
+        self.src_producers: List[tuple] = [()] * n
+        self.reg_dependents: Dict[int, List[int]] = {}
+        for entry in entries:
+            inst = entry.inst
+            operands = []
+            for reg in inst.sources():
+                if reg == 0:
+                    continue
+                producer = last_writer.get(reg)
+                operands.append((reg, producer, prev_writer.get(reg)))
+                if reg_mode in ("always", "predict") and producer is not None:
+                    self.reg_dependents.setdefault(producer, []).append(entry.seq)
+            self.src_operands[entry.seq] = tuple(operands)
+            self.src_producers[entry.seq] = tuple(
+                producer for _, producer, _ in operands if producer is not None
+            )
+            rd = inst.rd
+            if rd is not None and rd != 0:
+                prev_writer[rd] = last_writer.get(rd)
+                last_writer[rd] = entry.seq
+
+        # static write-set per task entry PC: the registers any dynamic
+        # instance of that task writes (what a conservative machine must
+        # assume the task may write)
+        self.task_writesets: Dict[int, frozenset] = {}
+        if reg_mode == "conservative":
+            draft: Dict[int, set] = {}
+            for task_id, seqs in enumerate(self.tasks):
+                regs = draft.setdefault(self.task_pcs[task_id], set())
+                for seq in seqs:
+                    rd = entries[seq].inst.rd
+                    if rd is not None and rd != 0:
+                        regs.add(rd)
+            self.task_writesets = {
+                pc: frozenset(regs) for pc, regs in draft.items()
+            }
+
+        # memory dependence oracle
+        self.producers = trace.load_producers()
+        self.dependents: Dict[int, List[int]] = {}
+        for load_seq, store_seq in self.producers.items():
+            if store_seq is not None:
+                self.dependents.setdefault(store_seq, []).append(load_seq)
+        for lst in self.dependents.values():
+            lst.sort()
+
+        # per-load list of earlier same-task stores (intra-task gating)
+        self.prior_task_stores: Dict[int, List[int]] = {}
+        for seqs in self.tasks:
+            stores_so_far: List[int] = []
+            for seq in seqs:
+                entry = entries[seq]
+                if entry.is_load and stores_so_far:
+                    self.prior_task_stores[seq] = list(stores_so_far)
+                if entry.is_store:
+                    stores_so_far.append(seq)
+
+        self.all_store_seqs = [e.seq for e in entries if e.is_store]
+
+        # address-generation dataflow for stores: the base register only
+        # (a store's address resolves before its data arrives, which is
+        # what the NEVER/WAIT policies wait on)
+        last_writer.clear()
+        self.addr_producer: Dict[int, Optional[int]] = {}
+        for entry in entries:
+            inst = entry.inst
+            if entry.is_store:
+                base = inst.rs1
+                self.addr_producer[entry.seq] = (
+                    last_writer.get(base) if base != 0 else None
+                )
+            rd = inst.rd
+            if rd is not None and rd != 0:
+                last_writer[rd] = entry.seq
+
+    # ------------------------------------------------------------------
+    # helpers used by policies
+    # ------------------------------------------------------------------
+
+    def all_prior_stores_issued(self, seq) -> bool:
+        """No store earlier in program order still has an unknown address.
+
+        A store's address is considered known once its base register is
+        available and the store has entered its stage's window (address
+        generation happens ahead of the data arriving).
+        """
+        m = self._unknown_addr_stores.minimum()
+        return m is None or m >= seq
+
+    def all_prior_stores_executed(self, seq) -> bool:
+        """Every store earlier in program order has completed its access."""
+        m = self._unexecuted_stores.minimum()
+        return m is None or m >= seq
+
+    def producer_pending(self, seq) -> bool:
+        """The load's producing store exists and has not issued yet.
+
+        Once a store has issued, its address and data sit in the store
+        queue/ARB and a later load can be satisfied by forwarding, so
+        "pending" ends at issue, not at completion.
+        """
+        producer = self.producers.get(seq)
+        return producer is not None and not self.issued[producer]
+
+    @property
+    def head_task(self) -> int:
+        """Index of the oldest uncommitted task."""
+        return self._head
+
+    def task_pc_at(self, task_id) -> Optional[int]:
+        """Task PC of the task at a given position (ESYNC's path probe)."""
+        if 0 <= task_id < self.n_tasks:
+            return self.task_pcs[task_id]
+        return None
+
+    def squashed_seqs(self, first_seq):
+        """All dispatched instruction seqs at or after *first_seq*."""
+        first_task = self.task_of[first_seq]
+        for t in range(first_task, self._next_dispatch):
+            for seq in self.tasks[t]:
+                if seq >= first_seq:
+                    yield seq
+
+    def classify_load(self, seq, bucket):
+        """Buffer a Table-8 classification until the load's task commits."""
+        self._pending_class[seq] = bucket
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+
+    def run(self) -> SpeculationStats:
+        cfg = self.config
+        entries = self.trace.entries
+        n = self.n
+
+        self.done: List[Optional[int]] = [None] * n
+        self.issued = [False] * n
+        self.issue_time: List[Optional[int]] = [None] * n
+        self._completed = [False] * n  # completion event processed
+        self._epoch = [0] * n
+        self._reg_spec_mode = cfg.register_speculation
+        self._reg_learned = set()  # (producer PC, consumer PC) known dependent
+        self._events: List[tuple] = []  # (time, seq, epoch)
+        self._pending_class: Dict[int, str] = {}
+        self._issue_floor = [0] * self.n_tasks  # re-issue gate after squash
+
+        self._unissued_stores = _LazyMinSet(self.all_store_seqs)
+        self._unexecuted_stores = _LazyMinSet(self.all_store_seqs)
+        self._unknown_addr_stores = _LazyMinSet(self.all_store_seqs)
+        self._store_perform = [0] * n  # time a store's data enters the ARB
+
+        self._dispatch_time: List[Optional[int]] = [None] * self.n_tasks
+        self._fetch_time: Dict[int, int] = {}
+        self._icaches = (
+            [InstructionCache() for _ in range(cfg.stages)]
+            if cfg.model_icache
+            else None
+        )
+        self._remaining = [len(seqs) for seqs in self.tasks]
+        self._task_unissued: Dict[int, List[int]] = {}
+        self._head = 0
+        self._next_dispatch = 0
+        self._last_dispatch_time = -cfg.dispatch_latency
+        self._pending_correct = [True] * (self.n_tasks + 1)
+
+        self.sequencer = PathBasedTaskPredictor(history=cfg.predictor_history)
+        self.policy.bind(self)
+
+        now = 0
+        idle_cycles = 0
+        latencies = cfg.fu_latencies
+        while self._head < self.n_tasks:
+            progressed = False
+            progressed |= self._process_events(now)
+            progressed |= self._try_dispatch(now)
+            progressed |= self._issue_phase(now, latencies)
+            progressed |= self._try_commit(now)
+            if self._head >= self.n_tasks:
+                break
+            if progressed:
+                idle_cycles = 0
+                now += 1
+                continue
+            next_time = self._next_event_time(now)
+            if next_time is not None and next_time > now:
+                now = next_time
+                idle_cycles = 0
+            else:
+                now += 1
+                idle_cycles += 1
+                if idle_cycles > 100_000:
+                    raise SimulationError(
+                        "no progress for %d cycles at t=%d (head task %d of %d)"
+                        % (idle_cycles, now, self._head, self.n_tasks)
+                    )
+
+        self.stats.cycles = now
+        self.stats.control_mispredictions = self.sequencer.mispredictions
+        return self.stats
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch_ready_time(self, task_id, now) -> Optional[int]:
+        base = self._last_dispatch_time + self.config.dispatch_latency
+        if self._pending_correct[task_id]:
+            return base
+        last_prev = self.tasks[task_id - 1][-1]
+        resolve = self.done[last_prev]
+        if resolve is None or not self.issued[last_prev]:
+            return None  # misprediction not resolved yet
+        return max(base, resolve + self.config.mispredict_penalty)
+
+    def _try_dispatch(self, now) -> bool:
+        progressed = False
+        while (
+            self._next_dispatch < self.n_tasks
+            and self._next_dispatch - self._head < self.config.stages
+        ):
+            task_id = self._next_dispatch
+            ready = self._dispatch_ready_time(task_id, now)
+            if ready is None or ready > now:
+                break
+            self._dispatch_time[task_id] = now
+            self._last_dispatch_time = now
+            self._task_unissued[task_id] = list(self.tasks[task_id])
+            if self._icaches is not None:
+                self._schedule_fetch(task_id, now)
+            self._next_dispatch += 1
+            self.policy.on_task_dispatched(task_id, now)
+            if task_id + 1 < self.n_tasks:
+                correct = self.sequencer.record(self.task_pcs[task_id + 1])
+                self._pending_correct[task_id + 1] = correct
+            progressed = True
+        return progressed
+
+    # -- issue -------------------------------------------------------------
+
+    def _reg_avail(self, producer, task_id) -> Optional[int]:
+        """When *producer*'s value is usable in *task_id*, or None."""
+        done = self.done[producer]
+        if done is None:
+            return None
+        producer_task = self.task_of[producer]
+        if producer_task != task_id:
+            done += self.config.ring_hop_latency * (task_id - producer_task)
+        return done
+
+    def _may_speculate_register(self, producer, consumer_seq, task_id) -> bool:
+        """Is the consumer allowed to use a stale value for this operand?"""
+        mode = self._reg_spec_mode
+        if mode in ("oracle", "conservative"):
+            return False
+        if self.task_of[producer] == task_id:
+            return False  # intra-task dependences use the scoreboard
+        if mode == "always":
+            return True
+        pair = (self.trace.entries[producer].pc, self.trace.entries[consumer_seq].pc)
+        return pair not in self._reg_learned
+
+    def _maybe_writer_stall(self, reg, producer, task_id, now) -> bool:
+        """Conservative forwarding: stall while any earlier in-flight task
+        whose static write-set contains *reg* — and which is not the true
+        producer's task — has not resolved its path yet."""
+        first = self._head
+        if producer is not None:
+            first = max(first, self.task_of[producer] + 1)
+        for other in range(first, task_id):
+            if reg not in self.task_writesets.get(self.task_pcs[other], ()):
+                continue
+            last_seq = self.tasks[other][-1]
+            done = self.done[last_seq]
+            if done is None or done > now:
+                return True
+        return False
+
+    def _source_ready_time(self, seq, task_id, now) -> int:
+        ready = 0
+        conservative = self._reg_spec_mode == "conservative"
+        for reg, producer, prev in self.src_operands[seq]:
+            if conservative and self._maybe_writer_stall(reg, producer, task_id, now):
+                return -1
+            if producer is None:
+                continue  # value comes with the committed state
+            avail = self._reg_avail(producer, task_id)
+            if avail is None or avail > now:
+                if not self._may_speculate_register(producer, seq, task_id):
+                    return -1 if avail is None else (avail if avail > ready else ready)
+                # consume the stale (penultimate) value instead
+                if prev is None:
+                    continue  # stale value comes with committed state
+                stale = self._reg_avail(prev, task_id)
+                if stale is None:
+                    return -1  # not even the stale value exists yet
+                avail = stale
+            if avail > ready:
+                ready = avail
+        return ready
+
+    def _schedule_fetch(self, task_id, dispatch_time):
+        """Walk the task's instruction stream through the stage's i-cache
+        and record each instruction's absolute fetch time."""
+        cfg = self.config
+        icache = self._icaches[task_id % cfg.stages]
+        cursor = dispatch_time
+        seqs = self.tasks[task_id]
+        entries = self.trace.entries
+        block = cfg.fetch_width
+        last_line = None
+        for group_start in range(0, len(seqs), block):
+            pc_addr = entries[seqs[group_start]].pc * 4
+            line = pc_addr // icache.config.block_bytes
+            if line != last_line:
+                latency = icache.access(pc_addr)
+                cursor += latency - 1
+                last_line = line
+            for seq in seqs[group_start : group_start + block]:
+                self._fetch_time[seq] = cursor
+            cursor += 1
+
+    def _fetch_ready(self, seq, task_id) -> int:
+        if self._icaches is not None:
+            return self._fetch_time.get(seq, self._dispatch_time[task_id])
+        return (
+            self._dispatch_time[task_id]
+            + self.index_in_task[seq] // self.config.fetch_width
+        )
+
+    def _resolve_store_address(self, seq, task_id, now):
+        """Mark a store's address as known once its base register is ready."""
+        if now < self._issue_floor[task_id]:
+            return
+        cfg = self.config
+        if self._fetch_ready(seq, task_id) > now:
+            return
+        producer = self.addr_producer.get(seq)
+        if producer is not None:
+            done = self.done[producer]
+            if done is None:
+                return
+            avail = done
+            producer_task = self.task_of[producer]
+            if producer_task != task_id:
+                avail += cfg.ring_hop_latency * (task_id - producer_task)
+            if avail + cfg.agen_latency > now:
+                return
+        self._unknown_addr_stores.discard(seq)
+
+    def _intra_task_gate(self, seq, addr, now) -> bool:
+        """Intra-task dependences are never speculated (Section 5)."""
+        for store_seq in self.prior_task_stores.get(seq, ()):
+            if store_seq in self._unknown_addr_stores:
+                return False
+            if self.trace.entries[store_seq].addr == addr:
+                done = self.done[store_seq]
+                if done is None or done > now:
+                    return False
+        return True
+
+    def _try_issue(self, seq, task_id, now, counters, latencies) -> bool:
+        if now < self._issue_floor[task_id]:
+            return False
+        entry = self.trace.entries[seq]
+        cfg = self.config
+        if self._fetch_ready(seq, task_id) > now:
+            return False
+        src_ready = self._source_ready_time(seq, task_id, now)
+        if src_ready < 0 or src_ready > now:
+            return False
+        cls = entry.inst.fu_class
+        if counters.get(cls, 0) >= cfg.fu_counts[cls]:
+            return False
+        if entry.is_load:
+            if not self._intra_task_gate(seq, entry.addr, now):
+                return False
+            if not self.policy.may_issue_load(seq, now):
+                return False
+        if entry.is_memory:
+            completion = self.cache.access(entry.addr, now + cfg.agen_latency)
+        else:
+            completion = now + latencies[cls]
+        counters[cls] = counters.get(cls, 0) + 1
+        self.issued[seq] = True
+        self.issue_time[seq] = now
+        self.done[seq] = completion
+        if entry.is_store:
+            self._unissued_stores.discard(seq)
+            self._unknown_addr_stores.discard(seq)
+            self._store_perform[seq] = now + 1
+            self.policy.on_store_issued(seq, now)
+        heapq.heappush(self._events, (completion, seq, self._epoch[seq]))
+        return True
+
+    def _issue_phase(self, now, latencies) -> bool:
+        progressed = False
+        cfg = self.config
+        for task_id in range(self._head, self._next_dispatch):
+            if self._dispatch_time[task_id] > now:
+                continue
+            unissued = self._task_unissued[task_id]
+            if not unissued:
+                continue
+            counters: Dict[object, int] = {}
+            issued_count = 0
+            kept: List[int] = []
+            considered = 0
+            for pos, seq in enumerate(unissued):
+                if self.issued[seq]:
+                    continue  # compaction
+                considered += 1
+                if considered <= cfg.rs_window and seq in self._unknown_addr_stores:
+                    self._resolve_store_address(seq, task_id, now)
+                if considered > cfg.rs_window or issued_count >= cfg.issue_width:
+                    kept.append(seq)
+                    kept.extend(
+                        s for s in unissued[pos + 1 :] if not self.issued[s]
+                    )
+                    break
+                if self._try_issue(seq, task_id, now, counters, latencies):
+                    issued_count += 1
+                    progressed = True
+                else:
+                    kept.append(seq)
+            self._task_unissued[task_id] = kept
+        return progressed
+
+    # -- completion events ---------------------------------------------------
+
+    def _process_events(self, now) -> bool:
+        progressed = False
+        events = self._events
+        while events and events[0][0] <= now:
+            time, seq, epoch = heapq.heappop(events)
+            if epoch != self._epoch[seq] or not self.issued[seq]:
+                continue  # stale (squashed) event
+            progressed = True
+            self._completed[seq] = True
+            self._remaining[self.task_of[seq]] -= 1
+            entry = self.trace.entries[seq]
+            if entry.is_store:
+                self._unexecuted_stores.discard(seq)
+                violator = self._find_violation(seq, time)
+                if violator is not None:
+                    self._handle_violation(seq, violator, time)
+            if self._reg_spec_mode in ("always", "predict") and entry.inst.rd not in (None, 0):
+                violator = self._find_register_violation(seq, time)
+                if violator is not None:
+                    self._handle_register_violation(seq, violator, time)
+        return progressed
+
+    def _find_register_violation(self, producer, time) -> Optional[int]:
+        """Earliest consumer that issued before this producer's value
+        could have reached it (it used a stale register value)."""
+        producer_task = self.task_of[producer]
+        for consumer in self.reg_dependents.get(producer, ()):
+            consumer_task = self.task_of[consumer]
+            if consumer_task <= producer_task:
+                continue
+            if consumer_task >= self._next_dispatch:
+                break
+            if consumer_task < self._head:
+                continue
+            issued_at = self.issue_time[consumer]
+            if not self.issued[consumer] or issued_at is None:
+                continue
+            real_avail = time + self.config.ring_hop_latency * (
+                consumer_task - producer_task
+            )
+            if issued_at < real_avail:
+                return consumer
+        return None
+
+    def squash_for_value_mismatch(self, load_seq, now):
+        """A value-speculated load was verified wrong: squash it and
+        everything younger (used by the VSYNC extension policy)."""
+        self.stats.value_mis_speculations += 1
+        restart = now + self.config.squash_penalty
+        self._squash_from_seq(load_seq, restart)
+
+    def _handle_register_violation(self, producer, consumer, time):
+        self.stats.register_mis_speculations += 1
+        pair = (
+            self.trace.entries[producer].pc,
+            self.trace.entries[consumer].pc,
+        )
+        self._reg_learned.add(pair)
+        restart = time + self.config.squash_penalty
+        self._squash_from_seq(consumer, restart)
+
+    def _find_violation(self, store_seq, time) -> Optional[int]:
+        """Earliest load violated by this store's execution, if any."""
+        store_task = self.task_of[store_seq]
+        for load_seq in self.dependents.get(store_seq, ()):
+            load_task = self.task_of[load_seq]
+            if load_task <= store_task:
+                continue
+            if load_task >= self._next_dispatch:
+                break  # not dispatched yet; later dependents are younger
+            if load_task < self._head:
+                continue  # already committed (cannot happen; guard anyway)
+            done = self.done[load_seq]
+            if done is not None and done < self._store_perform[store_seq]:
+                # the load performed before the store's data entered the
+                # ARB: it read stale data.  Loads completing at or after
+                # the store's perform time are satisfied by forwarding.
+                if self.policy.absolves_violation(store_seq, load_seq):
+                    continue  # e.g. a correctly value-predicted load
+                return load_seq
+        return None
+
+    def _handle_violation(self, store_seq, load_seq, time):
+        self.stats.mis_speculations += 1
+        self.stats.breakdown.ny += 1
+        self.policy.on_violation(store_seq, load_seq, time)
+        restart = time + self.config.squash_penalty
+        self._squash_from_seq(load_seq, restart)
+        # the store itself survives; let it signal for the re-execution
+        self.policy.on_store_executed(store_seq, time)
+
+    def _squash_from_seq(self, first_seq, restart):
+        """Squash the violating load and every younger instruction.
+
+        Per the paper (Section 4.3), the instructions *following the
+        load* are squashed and re-issued: older instructions of the
+        load's own task keep their results, so the task's tail — often
+        including the producers of younger tasks' recurrences —
+        re-executes immediately.  Younger tasks restart staggered by the
+        sequencer's re-walk rate.
+        """
+        cfg = self.config
+        first_task = self.task_of[first_seq]
+        for task_id in range(first_task, self._next_dispatch):
+            reset_any = False
+            for seq in self.tasks[task_id]:
+                if seq < first_seq:
+                    continue
+                reset_any = True
+                if self.issued[seq]:
+                    self.stats.squashed_instructions += 1
+                if self._completed[seq]:
+                    self._remaining[task_id] += 1
+                    self._completed[seq] = False
+                self._epoch[seq] += 1
+                self.issued[seq] = False
+                self.issue_time[seq] = None
+                self.done[seq] = None
+                self._pending_class.pop(seq, None)
+                entry = self.trace.entries[seq]
+                if entry.is_store:
+                    self._unissued_stores.add(seq)
+                    self._unexecuted_stores.add(seq)
+                    self._unknown_addr_stores.add(seq)
+            if not reset_any:
+                continue
+            self._task_unissued[task_id] = [
+                s for s in self.tasks[task_id] if not self.issued[s]
+            ]
+            offset = task_id - first_task
+            self._issue_floor[task_id] = restart + offset * cfg.squash_stagger
+        self.policy.on_squash(first_seq, restart)
+
+    # -- commit ---------------------------------------------------------------
+
+    def _try_commit(self, now) -> bool:
+        progressed = False
+        while self._head < self.n_tasks and self._remaining[self._head] == 0:
+            task_id = self._head
+            for seq in self.tasks[task_id]:
+                entry = self.trace.entries[seq]
+                self.stats.committed_instructions += 1
+                if entry.is_load:
+                    self.stats.committed_loads += 1
+                    bucket = self._pending_class.pop(seq, "nn")
+                    setattr(
+                        self.stats.breakdown,
+                        bucket,
+                        getattr(self.stats.breakdown, bucket) + 1,
+                    )
+                elif entry.is_store:
+                    self.stats.committed_stores += 1
+            self.stats.tasks_committed += 1
+            self.policy.on_task_committed(task_id, now)
+            self._head += 1
+            progressed = True
+        return progressed
+
+    # -- time management --------------------------------------------------------
+
+    def _next_event_time(self, now) -> Optional[int]:
+        candidates = []
+        events = self._events
+        while events:
+            time, seq, epoch = events[0]
+            if epoch != self._epoch[seq] or not self.issued[seq]:
+                heapq.heappop(events)
+                continue
+            candidates.append(time)
+            break
+        if (
+            self._next_dispatch < self.n_tasks
+            and self._next_dispatch - self._head < self.config.stages
+        ):
+            ready = self._dispatch_ready_time(self._next_dispatch, now)
+            if ready is not None:
+                candidates.append(ready)
+        for task_id in range(self._head, self._next_dispatch):
+            dt = self._dispatch_time[task_id]
+            if dt is not None and dt > now:
+                candidates.append(dt)
+            floor = self._issue_floor[task_id]
+            if floor > now and self._task_unissued.get(task_id):
+                candidates.append(floor)
+        future = [c for c in candidates if c > now]
+        return min(future) if future else None
+
+
+def simulate(trace, config=None, policy=None) -> SpeculationStats:
+    """Convenience wrapper: run one simulation and return its stats."""
+    return MultiscalarSimulator(trace, config=config, policy=policy).run()

@@ -1,0 +1,37 @@
+"""Trace-level dependence analysis: the unrealistic OoO model and the DDC."""
+
+from repro.oracle.ddc import (
+    PAPER_DDC_SIZES_MULTISCALAR,
+    PAPER_DDC_SIZES_OOO,
+    DataDependenceCache,
+    DDCResult,
+    simulate_ddc,
+    simulate_ddc_sizes,
+)
+from repro.oracle.profiles import (
+    DependenceProfile,
+    PairProfile,
+    profile_dependences,
+)
+from repro.oracle.window_model import (
+    PAPER_WINDOW_SIZES,
+    WindowResult,
+    analyze_window,
+    analyze_windows,
+)
+
+__all__ = [
+    "DataDependenceCache",
+    "DDCResult",
+    "DependenceProfile",
+    "PairProfile",
+    "profile_dependences",
+    "PAPER_DDC_SIZES_MULTISCALAR",
+    "PAPER_DDC_SIZES_OOO",
+    "PAPER_WINDOW_SIZES",
+    "WindowResult",
+    "analyze_window",
+    "analyze_windows",
+    "simulate_ddc",
+    "simulate_ddc_sizes",
+]

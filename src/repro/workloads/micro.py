@@ -1,0 +1,236 @@
+"""Microbenchmarks: one dependence phenomenon per kernel.
+
+Where the SPEC-like suites mix effects the way real programs do, each
+micro kernel isolates a single behaviour, which makes them the right
+instrument for studying the mechanism (and for the ablation harness):
+
+* ``micro-independent`` — fully parallel loop: the machine's IPC upper
+  bound; any policy overhead shows directly.
+* ``micro-recurrence-d1/-d2/-d4`` — a single memory recurrence at task
+  distance 1/2/4: the synchronization latency microscope.
+* ``micro-path-dependent`` — the producer store executes on one of two
+  data-selected paths with distinct task PCs: the smallest program
+  where ESYNC beats SYNC.
+* ``micro-multi-producer`` — one static load fed by two static stores
+  (paper Section 4.4.4's multiple-dependences case).
+* ``micro-late-address`` — an unrelated store whose address resolves at
+  task end: isolates the NEVER/WAIT pathology of Figure 1(d); there is
+  never a true dependence.
+* ``micro-pointer-chase`` — serial pointer chasing, no memory
+  dependences: control for chase-bound behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.assembler import Assembler
+from repro.workloads.base import MemoryLayout, register, scaled
+from repro.workloads.synthetic import fill_permutation_links, fill_random_words
+
+
+def _loop_prologue(a, iterations, extra=()):
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    for reg, value in extra:
+        a.li(reg, value)
+    a.label("loop")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+
+
+def _loop_epilogue(a):
+    a.blt("s3", "s4", "loop")
+    a.halt()
+    return a.assemble()
+
+
+@register("micro-independent", "micro", "fully parallel loop (IPC ceiling)")
+def build_independent(scale="ref"):
+    iterations = scaled(1500, scale)
+    layout = MemoryLayout()
+    src = layout.region("src", iterations + 4)
+    dst = layout.region("dst", iterations + 4)
+    a = Assembler("micro-independent")
+    fill_random_words(a, src, iterations + 4, 0, 999, seed=0x111)
+    _loop_prologue(a, iterations, extra=(("s1", src), ("s2", dst)))
+    a.addi("s1", "s1", 4)
+    a.addi("s2", "s2", 4)
+    a.lw("t0", "s1", -4)
+    a.addi("t0", "t0", 1)
+    a.sll("t1", "t0", 1)
+    a.xor("t1", "t1", "t0")
+    a.sw("t1", "s2", -4)
+    return _loop_epilogue(a)
+
+
+def _recurrence(name, iterations, distance):
+    layout = MemoryLayout()
+    cells = layout.region("cells", distance + 1)
+    a = Assembler(name)
+    fill_random_words(a, cells, distance + 1, 0, 9, seed=0x222)
+    _loop_prologue(a, iterations, extra=(("s1", cells),))
+    # slot rotates through `distance` cells: the load reads the value a
+    # store wrote exactly `distance` tasks earlier
+    a.li("at", distance)
+    a.rem("t9", "s3", "at")
+    a.sll("t9", "t9", 2)
+    a.add("a1", "s1", "t9")
+    a.lw("t0", "a1", 0)          # distance-d consumer
+    a.addi("t0", "t0", 1)
+    a.andi("t0", "t0", 0xFFFF)
+    a.sw("t0", "a1", 0)          # distance-d producer
+    return _loop_epilogue(a)
+
+
+@register("micro-recurrence-d1", "micro", "memory recurrence at task distance 1")
+def build_recurrence_d1(scale="ref"):
+    return _recurrence("micro-recurrence-d1", scaled(1200, scale), 1)
+
+
+@register("micro-recurrence-d2", "micro", "memory recurrence at task distance 2")
+def build_recurrence_d2(scale="ref"):
+    return _recurrence("micro-recurrence-d2", scaled(1200, scale), 2)
+
+
+@register("micro-recurrence-d4", "micro", "memory recurrence at task distance 4")
+def build_recurrence_d4(scale="ref"):
+    return _recurrence("micro-recurrence-d4", scaled(1200, scale), 4)
+
+
+@register(
+    "micro-path-dependent", "micro", "producer on one of two task paths (ESYNC case)"
+)
+def build_path_dependent(scale="ref"):
+    iterations = scaled(1200, scale)
+    layout = MemoryLayout()
+    cell = layout.region("cell", 1)
+    inputs = layout.region("inputs", iterations + 2)
+    a = Assembler("micro-path-dependent")
+    # run-structured selector: stretches of "write" vs "skip" iterations
+    rng = random.Random(0x333)
+    writing = True
+    for i in range(iterations + 2):
+        if rng.random() > 0.85:
+            writing = not writing
+        a.word(inputs + 4 * i, 1 if writing else 0)
+
+    _loop_prologue(a, iterations, extra=(("s1", cell), ("s2", inputs)))
+    a.addi("s2", "s2", 4)
+    a.lw("t5", "s2", -4)         # selector (read-only)
+    a.lw("t0", "s1", 0)          # the consumer: every iteration
+    a.beq("t5", "zero", "skip")
+    a.label("produce")
+    a.task_begin()               # the producing path is its own task
+    a.addi("t0", "t0", 1)
+    a.andi("t0", "t0", 0xFFFF)
+    a.sw("t0", "s1", 0)          # the producer: only on this path
+    a.label("skip")
+    return _loop_epilogue(a)
+
+
+@register(
+    "micro-multi-producer", "micro", "one load fed by two static stores (4.4.4)"
+)
+def build_multi_producer(scale="ref"):
+    iterations = scaled(1200, scale)
+    layout = MemoryLayout()
+    cell = layout.region("cell", 1)
+    a = Assembler("micro-multi-producer")
+    _loop_prologue(a, iterations, extra=(("s1", cell),))
+    a.lw("t0", "s1", 0)          # consumer matched by both stores
+    a.andi("t5", "s3", 1)
+    a.beq("t5", "zero", "even")
+    a.addi("t0", "t0", 3)
+    a.sw("t0", "s1", 0)          # producer A (odd iterations)
+    a.j("next")
+    a.label("even")
+    a.addi("t0", "t0", 5)
+    a.sw("t0", "s1", 0)          # producer B (even iterations)
+    a.label("next")
+    return _loop_epilogue(a)
+
+
+@register(
+    "micro-late-address", "micro", "late-resolving store address, no true deps"
+)
+def build_late_address(scale="ref"):
+    iterations = scaled(1200, scale)
+    layout = MemoryLayout()
+    src = layout.region("src", iterations + 4)
+    sink = layout.region("sink", 64)
+    a = Assembler("micro-late-address")
+    fill_random_words(a, src, iterations + 4, 0, 999, seed=0x444)
+    _loop_prologue(a, iterations, extra=(("s1", src), ("s2", sink)))
+    a.addi("s1", "s1", 4)
+    a.lw("t0", "s1", -4)         # read-only input
+    a.mul("t1", "t0", "t0")      # long chain to the store ADDRESS
+    a.addi("t1", "t1", 7)
+    a.mul("t1", "t1", "t1")
+    a.andi("t1", "t1", 63)
+    a.sll("t1", "t1", 2)
+    a.add("a1", "s2", "t1")
+    a.sw("t0", "a1", 0)          # nothing ever loads from the sink
+    return _loop_epilogue(a)
+
+
+@register(
+    "micro-conditional-reg",
+    "micro",
+    "rarely-updated cross-task register (register-speculation case)",
+)
+def build_conditional_reg(scale="ref"):
+    """A register (``s5``, an environment pointer) is read every
+    iteration but rewritten only on a rare data-selected path.  A
+    conservative register-forwarding machine stalls every consumer until
+    each earlier task's path resolves; register dependence speculation
+    (paper Section 6) recovers oracle performance."""
+    iterations = scaled(1200, scale)
+    layout = MemoryLayout()
+    env = layout.region("env", 16)
+    inputs = layout.region("inputs", iterations + 2)
+    out = layout.region("out", iterations + 2)
+    a = Assembler("micro-conditional-reg")
+    fill_random_words(a, env, 16, 1, 99, seed=0x666)
+    rng = random.Random(0x667)
+    for i in range(iterations + 2):
+        a.word(inputs + 4 * i, 1 if rng.random() < 1 / 16 else 0)
+
+    _loop_prologue(
+        a, iterations, extra=(("s5", env), ("s2", inputs), ("s6", out))
+    )
+    a.addi("s2", "s2", 4)
+    a.addi("s6", "s6", 4)
+    a.lw("t5", "s2", -4)         # rare-update selector (read-only)
+    a.lw("t0", "s5", 0)          # read through the environment pointer
+    a.addi("t0", "t0", 1)
+    a.sw("t0", "s6", -4)         # private output
+    # a long private computation keeps each task's path unresolved for a
+    # while: this is what a conservative register-forwarding machine
+    # must wait out before trusting that s5 will not change
+    for step in range(12):
+        a.mul("t1", "t0", "t0")
+        a.andi("t1", "t1", 0xFFF)
+        a.add("t0", "t0", "t1")
+        a.andi("t0", "t0", 0xFFFF)
+    a.beq("t5", "zero", "keep")
+    a.addi("s5", "s5", 4)        # rare environment-pointer update
+    a.andi("t6", "s5", 0x3F)     # wrapped past the 16-word region?
+    a.bne("t6", "zero", "keep")
+    a.li("s5", env)              # wrap back to the region base
+    a.label("keep")
+    return _loop_epilogue(a)
+
+
+@register("micro-pointer-chase", "micro", "serial pointer chase, no memory deps")
+def build_pointer_chase(scale="ref"):
+    iterations = scaled(1200, scale)
+    nodes = 64
+    layout = MemoryLayout()
+    nodes_base = layout.region("nodes", nodes * 2)
+    a = Assembler("micro-pointer-chase")
+    start = fill_permutation_links(a, nodes_base, nodes, 2, seed=0x555, offset_words=1)
+    _loop_prologue(a, iterations, extra=(("s1", start),))
+    a.lw("t0", "s1", 0)          # payload (never written)
+    a.lw("s1", "s1", 4)          # next pointer: the serial chain
+    return _loop_epilogue(a)

@@ -1,0 +1,529 @@
+"""SPEC95-like synthetic kernels (paper Figure 7).
+
+The paper evaluates eight SPECint95 and ten SPECfp95 programs on an
+8-stage Multiscalar processor.  Each kernel below is built from an
+archetype chosen to match the dependence behaviour the paper reports:
+
+* ``go`` — irregular, LCG-driven board updates with poor temporal
+  locality (paper: falls short of the ideal mechanism; also limited by
+  control prediction).
+* ``m88ksim`` — decode/dispatch simulator loop with a few hot
+  architectural-state recurrences at a stable distance of 1 (paper:
+  performs comparably to the ideal mechanism).
+* ``gcc95`` / ``compress95`` / ``li`` — the SPECint92 archetypes at
+  SPEC95-like parameters.
+* ``ijpeg`` — blocked array processing; block-edge dependences only.
+* ``perl`` — hash updates plus a hot string-buffer append recurrence.
+* ``vortex`` — record/index transactional updates, moderate
+  recurrences.
+* ``tomcatv``/``hydro2d``/``applu``/``apsi``/``wave5`` — FP stencil
+  sweeps whose mis-speculations are loop recurrences (paper: loop
+  recurrences dominate the captured dependences).
+* ``swim``/``mgrid``/``turb3d`` — streaming FP kernels with mostly
+  independent accesses: little to gain from dependence speculation.
+* ``su2cor``/``fpppp`` — a ring of statically distinct accumulator
+  sites: the working set of simultaneously live static dependences
+  exceeds the 64-entry prediction structure, the paper's stated reason
+  these two programs fall short of the ideal (fpppp additionally runs
+  very large tasks).
+
+As in :mod:`repro.workloads.specint92`, induction variables are updated
+at the top of each task and conflicting loads/stores sit at similar
+task depths, so mis-speculations are driven by cache and path jitter
+rather than being structural certainties.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.isa.assembler import Assembler
+from repro.workloads.base import MemoryLayout, register, scaled
+from repro.workloads.specint92 import build_compress, build_gcc, build_xlisp
+from repro.workloads.synthetic import emit_lcg_step, fill_random_words
+
+
+def _seed_of(name):
+    """Deterministic per-kernel seed (process-independent, unlike hash())."""
+    return zlib.crc32(name.encode("ascii")) & 0xFFFF
+
+
+# ---------------------------------------------------------------------------
+# archetypes
+# ---------------------------------------------------------------------------
+
+def _stencil_kernel(name, iterations, distances, fp, extra_work):
+    """FP/INT stencil sweep: a[i] = f(a[i-d] for d in *distances*).
+
+    Every iteration is a task; each distance d is a loop-carried
+    store->load recurrence at task distance d — the "simple loop
+    recurrences" the paper says dominate the SPECfp95 dependences.
+    *extra_work* adds independent per-iteration arithmetic.
+    """
+    cells = max(64, iterations // 2)
+    span = cells + max(distances) + 2
+    layout = MemoryLayout()
+    arr_base = layout.region("arr", span)
+    out_base = layout.region("out", iterations + 2)
+
+    a = Assembler(name)
+    fill_random_words(a, arr_base, span, 1, 9, seed=_seed_of(name))
+    start = max(distances)
+    a.li("s0", arr_base + 4 * start)
+    a.li("s1", out_base)
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    a.li("s6", arr_base + 4 * (cells + start))
+
+    a.label("sweep")
+    a.task_begin()
+    a.addi("s0", "s0", 4)        # inductions first
+    a.addi("s1", "s1", 4)
+    a.addi("s3", "s3", 1)
+    a.blt("s0", "s6", "nowrap")
+    a.li("s0", arr_base + 4 * (start + 1))
+    a.label("nowrap")
+    # independent work first, so the recurrence loads sit mid-task
+    a.lw("t2", "s0", 4 * max(distances))   # read-ahead (read-only today)
+    for step in range(extra_work):
+        if fp:
+            a.fmul_s("t2", "t2", "t2")
+        else:
+            a.add("t2", "t2", "t2")
+        a.andi("t2", "t2", 0xFFF)
+        a.addi("t2", "t2", step + 1)
+    a.sw("t2", "s1", -4)
+    # the loop-carried recurrences
+    a.lw("t0", "s0", -4 * distances[0] - 4)
+    for d in distances[1:]:
+        a.lw("t1", "s0", -4 * d - 4)
+        if fp:
+            a.fadd_d("t0", "t0", "t1")
+        else:
+            a.add("t0", "t0", "t1")
+    a.andi("t0", "t0", 0xFFFF)
+    a.addi("t0", "t0", 1)
+    a.sw("t0", "s0", -4)
+    a.blt("s3", "s4", "sweep")
+    a.halt()
+    return a.assemble()
+
+
+def _stream_kernel(name, iterations, body_loads):
+    """Streaming kernel: disjoint per-iteration loads and stores.
+
+    No cross-task memory dependences exist, so dependence speculation
+    has nothing to win — the paper's swim/mgrid/turb3d behaviour, where
+    some other part of the processor is the bottleneck.
+    """
+    span = max(64, iterations)
+    layout = MemoryLayout()
+    src_base = layout.region("src", span + body_loads + 1)
+    dst_base = layout.region("dst", span + 2)
+
+    a = Assembler(name)
+    fill_random_words(a, src_base, span + body_loads + 1, 0, 0xFFF, seed=_seed_of(name))
+    a.li("s0", src_base)
+    a.li("s1", dst_base)
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    a.li("s6", src_base + 4 * span)
+
+    a.label("stream")
+    a.task_begin()
+    a.addi("s0", "s0", 4)
+    a.addi("s1", "s1", 4)
+    a.addi("s3", "s3", 1)
+    a.blt("s0", "s6", "nowrap")
+    a.li("s0", src_base + 4)
+    a.li("s1", dst_base + 4)
+    a.label("nowrap")
+    a.lw("t0", "s0", -4)
+    for j in range(1, body_loads):
+        a.lw("t1", "s0", 4 * j - 4)
+        a.fadd_s("t0", "t0", "t1")
+    a.sw("t0", "s1", -4)
+    a.blt("s3", "s4", "stream")
+    a.halt()
+    return a.assemble()
+
+
+def _ringsites_kernel(name, iterations, sites, words_per_site, fp_work):
+    """A ring of statically distinct accumulator sites.
+
+    Site *k* (its own static code block, reached through a jump table)
+    loads the *words_per_site* accumulator words written by site k-1 —
+    a task-distance-1 dependence carried by ``sites * words_per_site``
+    distinct static pairs.  With more pairs than MDPT entries the
+    prediction working set overflows (su2cor/fpppp, paper Section 5.5).
+    *fp_work* adds a long unrolled reduction per task (fpppp's huge
+    tasks).
+    """
+    layout = MemoryLayout()
+    accs_base = layout.region("accs", sites * words_per_site)
+    jumptab = layout.region("jumptab", sites)
+    work_words = max(8, fp_work)
+    work_base = layout.region("work", work_words * 4)
+
+    a = Assembler(name)
+    fill_random_words(a, accs_base, sites * words_per_site, 0, 99, seed=_seed_of(name))
+    fill_random_words(a, work_base, work_words * 4, 1, 0xFFF, seed=_seed_of(name) ^ 1)
+    a.li("s2", accs_base)
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    a.li("s5", jumptab)
+    a.li("s6", 0)  # site index
+    a.li("s7", work_base)
+
+    a.label("iter")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+    # long independent reduction (sized by fp_work)
+    if fp_work:
+        a.andi("t6", "s3", 3)
+        a.sll("t6", "t6", 2 + 2)
+        a.add("a2", "s7", "t6")
+        a.lw("t7", "a2", 0)
+        for step in range(fp_work):
+            a.fmul_d("t7", "t7", "t7")
+            a.andi("t7", "t7", 0xFFF)
+            a.addi("t7", "t7", step + 1)
+    # dispatch to this task's site
+    a.sll("t0", "s6", 2)
+    a.add("t0", "t0", "s5")
+    a.lw("t1", "t0", 0)
+    # advance the site index for the next task before jumping
+    a.addi("s6", "s6", 1)
+    a.li("t3", sites)
+    a.blt("s6", "t3", "nowrapsite")
+    a.li("s6", 0)
+    a.label("nowrapsite")
+    a.jr("t1")
+    site_pcs = []
+    for site in range(sites):
+        a.label("site%d" % site)
+        site_pcs.append(a.here())
+        prev = (site - 1) % sites
+        for w in range(words_per_site):
+            a.lw("t2", "s2", 4 * (prev * words_per_site + w))
+            a.addi("t2", "t2", site + w + 1)
+            a.sw("t2", "s2", 4 * (site * words_per_site + w))
+        a.j("advance")
+
+    a.label("advance")
+    a.blt("s3", "s4", "iter")
+    a.halt()
+    for site, pc in enumerate(site_pcs):
+        a.word(jumptab + 4 * site, pc)
+    return a.assemble()
+
+
+def _irregular_kernel(name, iterations, board_words):
+    """go-like: LCG-driven random reads and writes over a board region,
+    several dispatch paths, unpredictable dependence distances."""
+    layout = MemoryLayout()
+    board_base = layout.region("board", board_words)
+    globals_base = layout.region("globals", 2)
+
+    a = Assembler(name)
+    fill_random_words(a, board_base, board_words, 0, 3, seed=_seed_of(name))
+    a.li("s1", board_base)
+    a.li("s2", globals_base)
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    a.li("s6", 0x2468A)
+
+    a.label("ply")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+    emit_lcg_step(a, "s6", "t0", board_words - 1)
+    a.sll("t0", "t0", 2)
+    a.add("a1", "s1", "t0")
+    a.lw("t1", "a1", 0)           # random board read
+    a.andi("t2", "t1", 3)
+    a.beq("t2", "zero", "quiet")
+    emit_lcg_step(a, "s6", "t3", board_words - 1)
+    a.sll("t3", "t3", 2)
+    a.add("a2", "s1", "t3")
+    a.lw("t4", "a2", 0)
+    a.add("t4", "t4", "t1")
+    a.andi("t4", "t4", 0xFF)
+    a.sw("t4", "a2", 0)           # random board write
+    a.j("cont")
+    a.label("quiet")
+    a.lw("t5", "s2", 0)
+    a.addi("t5", "t5", 1)
+    a.sw("t5", "s2", 0)           # evaluation counter
+    a.label("cont")
+    a.blt("s3", "s4", "ply")
+    a.halt()
+    return a.assemble()
+
+
+def _simloop_kernel(name, iterations):
+    """m88ksim-like: fetch/decode/dispatch with a small hot architectural
+    state region — a few static pairs with stable distance-1 behaviour
+    that the mechanism captures almost perfectly."""
+    layout = MemoryLayout()
+    image_base = layout.region("image", 256)
+    state_base = layout.region("state", 8)  # simulated pc, acc, flags, cycles
+
+    a = Assembler(name)
+    fill_random_words(a, image_base, 256, 0, 0xFFFF, seed=_seed_of(name))
+    a.word(state_base, image_base)
+
+    a.li("s2", state_base)
+    a.li("s1", image_base)
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    a.li("s6", image_base + 255 * 4)
+
+    a.label("step")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+    # independent decode arithmetic first
+    a.sll("t5", "s3", 2)
+    a.xor("t5", "t5", "s3")
+    a.andi("t5", "t5", 0xFF)
+    a.lw("t0", "s2", 0)           # simulated PC (hot recurrence)
+    a.lw("t1", "t0", 0)           # fetch from image
+    a.lw("t2", "s2", 4)           # simulated accumulator (hot recurrence)
+    a.add("t2", "t2", "t1")
+    a.add("t2", "t2", "t5")
+    a.andi("t2", "t2", 0xFFFF)
+    a.sw("t2", "s2", 4)
+    a.addi("t0", "t0", 4)
+    a.blt("t0", "s6", "nowrap")
+    a.move("t0", "s1")
+    a.label("nowrap")
+    a.sw("t0", "s2", 0)           # simulated PC update
+    a.lw("t4", "s2", 12)
+    a.addi("t4", "t4", 1)
+    a.sw("t4", "s2", 12)          # cycle counter
+    a.blt("s3", "s4", "step")
+    a.halt()
+    return a.assemble()
+
+
+def _blocked_kernel(name, blocks, block_words):
+    """ijpeg-like: per-block private work plus one block-edge dependence
+    (last word of block i feeds the first computation of block i+1)."""
+    block_bytes = block_words * 4
+    layout = MemoryLayout()
+    img_base = layout.region("img", (blocks + 2) * block_words)
+
+    a = Assembler(name)
+    fill_random_words(a, img_base, (blocks + 2) * block_words, 0, 255, seed=_seed_of(name))
+    a.li("s0", img_base + block_bytes)
+    a.li("s3", 0)
+    a.li("s4", blocks)
+
+    a.label("block")
+    a.task_begin()
+    a.addi("s0", "s0", block_bytes)
+    a.addi("s3", "s3", 1)
+    a.lw("t0", "s0", -block_bytes - 4)  # edge word from the previous block
+    for j in range(block_words - 1):
+        a.lw("t1", "s0", 4 * j - block_bytes)
+        a.add("t0", "t0", "t1")
+        a.andi("t0", "t0", 0xFFFF)
+        a.sw("t0", "s0", 4 * j - block_bytes)  # private in-place transform
+    a.sw("t0", "s0", -4)          # edge word for the next block
+    a.blt("s3", "s4", "block")
+    a.halt()
+    return a.assemble()
+
+
+def _record_kernel(name, iterations, records):
+    """vortex-like: transactional record updates plus an index region."""
+    rec_words = 6
+    layout = MemoryLayout()
+    recs_base = layout.region("recs", records * rec_words)
+    index_base = layout.region("index", 64)
+    globals_base = layout.region("globals", 2)
+
+    a = Assembler(name)
+    fill_random_words(a, recs_base, records * rec_words, 0, 99, seed=_seed_of(name))
+    a.li("s1", recs_base)
+    a.li("s5", index_base)
+    a.li("s2", globals_base)
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    a.li("s6", 0x9BDF1)
+
+    a.label("txn")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+    emit_lcg_step(a, "s6", "t0", records - 1)
+    a.li("at", rec_words * 4)
+    a.mul("t0", "t0", "at")
+    a.add("a1", "s1", "t0")
+    a.lw("t1", "a1", 0)           # record field reads
+    a.lw("t2", "a1", 4)
+    a.add("t1", "t1", "t2")
+    a.andi("t1", "t1", 0xFFFF)
+    a.sw("t1", "a1", 0)           # record field writes
+    a.addi("t2", "t2", 1)
+    a.sw("t2", "a1", 4)
+    a.andi("t3", "t1", 63)
+    a.sll("t3", "t3", 2)
+    a.add("a2", "s5", "t3")
+    a.lw("t4", "a2", 0)
+    a.addi("t4", "t4", 1)
+    a.sw("t4", "a2", 0)           # index bucket update (irregular)
+    a.lw("t5", "s2", 0)
+    a.addi("t5", "t5", 1)
+    a.sw("t5", "s2", 0)           # commit counter (hot recurrence)
+    a.blt("s3", "s4", "txn")
+    a.halt()
+    return a.assemble()
+
+
+def _buffer_kernel(name, iterations):
+    """perl-like: hash-bucket updates plus a string-buffer append whose
+    write pointer is itself kept in memory (hot pointer recurrence)."""
+    layout = MemoryLayout()
+    buckets_base = layout.region("buckets", 64)
+    buffer_base = layout.region("buffer", iterations + 8)
+    globals_base = layout.region("globals", 2)  # buffer write pointer
+
+    a = Assembler(name)
+    a.word(globals_base, buffer_base)
+    a.li("s1", buckets_base)
+    a.li("s2", globals_base)
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    a.li("s6", 0x1F2E3)
+
+    a.label("op")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+    emit_lcg_step(a, "s6", "t0", 63)
+    a.sll("t0", "t0", 2)
+    a.add("a1", "s1", "t0")
+    a.lw("t1", "a1", 0)
+    a.addi("t1", "t1", 1)
+    a.sw("t1", "a1", 0)           # hash bucket update (irregular)
+    a.lw("t2", "s2", 0)           # buffer write pointer (hot recurrence)
+    a.sw("t1", "t2", 0)           # append
+    a.addi("t2", "t2", 4)
+    a.sw("t2", "s2", 0)           # pointer update
+    a.blt("s3", "s4", "op")
+    a.halt()
+    return a.assemble()
+
+
+# ---------------------------------------------------------------------------
+# SPECint95-like registrations
+# ---------------------------------------------------------------------------
+
+@register("go", "specint95", "irregular board updates, poor locality")
+def build_go(scale="ref"):
+    return _irregular_kernel("go", scaled(3200, scale), board_words=64)
+
+
+@register("m88ksim", "specint95", "simulator loop, hot state recurrences")
+def build_m88ksim(scale="ref"):
+    return _simloop_kernel("m88ksim", scaled(2600, scale))
+
+
+@register("gcc95", "specint95", "SPEC95-scale gcc archetype")
+def build_gcc95(scale="ref"):
+    program = build_gcc(scale)
+    program.name = "gcc95"
+    return program
+
+
+@register("compress95", "specint95", "SPEC95-scale compress archetype")
+def build_compress95(scale="ref"):
+    program = build_compress(scale)
+    program.name = "compress95"
+    return program
+
+
+@register("li", "specint95", "xlisp archetype (130.li)")
+def build_li(scale="ref"):
+    program = build_xlisp(scale)
+    program.name = "li"
+    return program
+
+
+@register("ijpeg", "specint95", "blocked transform, block-edge deps only")
+def build_ijpeg(scale="ref"):
+    return _blocked_kernel("ijpeg", blocks=scaled(900, scale), block_words=12)
+
+
+@register("perl", "specint95", "hash ops plus hot buffer-pointer recurrence")
+def build_perl(scale="ref"):
+    return _buffer_kernel("perl", scaled(2800, scale))
+
+
+@register("vortex", "specint95", "record/index transactional updates")
+def build_vortex(scale="ref"):
+    return _record_kernel("vortex", scaled(2200, scale), records=48)
+
+
+# ---------------------------------------------------------------------------
+# SPECfp95-like registrations
+# ---------------------------------------------------------------------------
+
+@register("tomcatv", "specfp95", "stencil recurrences at distances 1 and 2")
+def build_tomcatv(scale="ref"):
+    return _stencil_kernel("tomcatv", scaled(2400, scale), (1, 2), fp=True, extra_work=6)
+
+
+@register("swim", "specfp95", "streaming, nothing to synchronize")
+def build_swim(scale="ref"):
+    return _stream_kernel("swim", scaled(2200, scale), body_loads=10)
+
+
+@register("su2cor", "specfp95", "dependence working set exceeds the tables")
+def build_su2cor(scale="ref"):
+    return _ringsites_kernel(
+        "su2cor",
+        scaled(3000, scale, minimum=24 * 6),
+        sites=24,
+        words_per_site=4,
+        fp_work=0,
+    )
+
+
+@register("hydro2d", "specfp95", "2-D-style stencil recurrences")
+def build_hydro2d(scale="ref"):
+    return _stencil_kernel("hydro2d", scaled(2200, scale), (1, 4), fp=True, extra_work=8)
+
+
+@register("mgrid", "specfp95", "mostly-read stencil, saturated memory")
+def build_mgrid(scale="ref"):
+    return _stream_kernel("mgrid", scaled(1800, scale), body_loads=14)
+
+
+@register("applu", "specfp95", "loop recurrences, near-ideal capture")
+def build_applu(scale="ref"):
+    return _stencil_kernel("applu", scaled(2400, scale), (1, 3), fp=True, extra_work=5)
+
+
+@register("turb3d", "specfp95", "disjoint FFT-style blocks")
+def build_turb3d(scale="ref"):
+    return _stream_kernel("turb3d", scaled(2000, scale), body_loads=12)
+
+
+@register("apsi", "specfp95", "mixed stencil recurrences")
+def build_apsi(scale="ref"):
+    return _stencil_kernel("apsi", scaled(2000, scale), (2, 5), fp=True, extra_work=7)
+
+
+@register("fpppp", "specfp95", "very large tasks, overflowing working set")
+def build_fpppp(scale="ref"):
+    return _ringsites_kernel(
+        "fpppp",
+        scaled(180, scale, minimum=36),
+        sites=12,
+        words_per_site=8,
+        fp_work=100,
+    )
+
+
+@register("wave5", "specfp95", "stencil recurrences, moderate gains")
+def build_wave5(scale="ref"):
+    return _stencil_kernel("wave5", scaled(2200, scale), (1, 6), fp=True, extra_work=6)

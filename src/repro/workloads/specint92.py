@@ -1,0 +1,499 @@
+"""SPECint92-like synthetic kernels.
+
+The paper's SPECint92 evaluation suite is compress, espresso, gcc, sc,
+and xlisp.  Each kernel below reproduces the *memory-dependence
+signature* the paper attributes to its namesake:
+
+* ``compress`` — global compression state (``prefix``, ``checksum``,
+  and the miss-path-only ``free_ent``/``out_count``) forms store->load
+  recurrences whose producers live on **data-dependent execution
+  paths**: a plain saturating counter (SYNC) over-synchronizes, while
+  the task-PC-qualified ESYNC predictor captures them (Section 5.5).
+* ``espresso`` — long tasks sweeping cube bitsets with a handful of
+  **simple always-taken recurrences** (cover accumulators and a global
+  counter): mis-speculations are costly because each squash rolls back
+  a large task, yet even an up/down counter predicts them.
+* ``gcc`` — pointer chasing over an IR graph with **many static
+  store/load pairs, irregular dependence distances, and poor temporal
+  locality** (flag-dispatched updates into a shared symbol table plus a
+  recent-visit ring consumed at LCG-chosen distances).
+* ``sc`` — spreadsheet cell propagation with loop-carried recurrences;
+  the recurrent loads must wait, under selective (WAIT) speculation,
+  for the **late-resolving histogram store address** of every earlier
+  in-flight task — the Figure 1(d) pathology that makes WAIT lose to
+  blind speculation.
+* ``xlisp`` — cons-cell allocation from two alternating arenas: a hot
+  free-list recurrence at task distance 2, plus mark walks reading
+  cells written by recent allocations.
+
+Two structural idioms keep the kernels faithful to compiled Multiscalar
+code: loop induction variables are updated at the *top* of each task
+(the Multiscalar compiler forwards loop-carried registers as early as
+possible, so a task's successors are not serialized on its tail), and
+consumers of cross-task memory recurrences sit a few instructions into
+the task so that mis-speculation is intermittent, not wall-to-wall.
+
+All inputs are generated from fixed seeds, so every build is
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.assembler import Assembler
+from repro.workloads.base import MemoryLayout, register, scaled
+from repro.workloads.synthetic import (
+    emit_lcg_step,
+    fill_permutation_links,
+    fill_random_words,
+)
+
+
+@register(
+    "compress",
+    "specint92",
+    "LZW-style loop; path-dependent global recurrences (SYNC vs ESYNC)",
+)
+def build_compress(scale="ref"):
+    iterations = scaled(3000, scale)
+    table_words = 64
+    layout = MemoryLayout()
+    input_base = layout.region("input", iterations + 1)
+    htab_base = layout.region("htab", table_words)
+    globals_base = layout.region("globals", 4)  # free_ent, out_count, checksum, prefix
+    output_base = layout.region("output", 64)
+
+    a = Assembler("compress")
+    _fill_compress_input(a, input_base, iterations + 1, seed=0xC0)
+    a.word(globals_base + 0, 256)  # free_ent starts past the alphabet
+
+    a.li("s0", input_base)
+    a.li("s1", htab_base)
+    a.li("s2", globals_base)
+    a.li("s3", output_base)
+    a.li("s4", 0)
+    a.li("s5", iterations)
+
+    a.label("loop")
+    a.task_begin()
+    a.addi("s0", "s0", 4)        # induction first (forwarded to successors)
+    a.addi("s4", "s4", 1)
+    a.lw("t0", "s0", -4)         # this iteration's character (read-only)
+    a.lw("t8", "s2", 0)          # free_ent: path-dependent recurrence
+    a.lw("t9", "s2", 12)         # prefix: recurrence with two producers
+    a.sll("t1", "t0", 4)
+    a.xor("t1", "t1", "t9")
+    a.andi("t1", "t1", table_words - 1)
+    a.sll("t1", "t1", 2)
+    a.add("a1", "s1", "t1")
+    a.lw("t2", "a1", 0)          # hash-table probe (irregular address)
+    a.andi("t5", "t0", 3)        # run-structured hit/miss selector
+    a.bne("t5", "zero", "hit")
+
+    # Miss path: its own task, so the free_ent/out_count producers live
+    # in a task whose entry PC identifies the path (what ESYNC keys on).
+    a.label("miss")
+    a.task_begin()
+    a.sw("t0", "a1", 0)          # insert into hash table
+    a.addi("t8", "t8", 1)
+    a.sw("t8", "s2", 0)          # free_ent++ (path-dependent producer)
+    a.lw("t3", "s2", 4)
+    a.addi("t3", "t3", 1)
+    a.sw("t3", "s2", 4)          # out_count++
+    a.sw("t0", "s2", 12)         # prefix = char
+    a.j("next")
+
+    a.label("hit")
+    a.sw("t2", "s2", 12)         # prefix = table code
+    a.lw("t4", "s2", 8)
+    a.add("t4", "t4", "t2")
+    a.sw("t4", "s2", 8)          # checksum += code (hit-path recurrence)
+
+    a.label("next")
+    # The output-buffer store's address hangs off a multiply chain fed
+    # by the probe result, so it resolves at the very end of the task.
+    # Following tasks' loads must wait for it under NEVER/WAIT although
+    # no true dependence ever forms (nothing loads the output buffer) —
+    # the Figure 1(d) pathology.
+    a.xor("t6", "t2", "t0")
+    a.mul("t6", "t6", "t6")
+    a.addi("t6", "t6", 1)
+    a.mul("t6", "t6", "t6")
+    a.andi("t6", "t6", 63)
+    a.sll("t6", "t6", 2)
+    a.add("a2", "s3", "t6")
+    a.sw("t0", "a2", 0)          # late-resolving output store
+    a.blt("s4", "s5", "loop")
+    a.halt()
+    return a.assemble()
+
+
+def _fill_compress_input(a, base, count, seed):
+    """Run-structured input characters.
+
+    Real compressed streams alternate runs of table hits with bursts of
+    table misses; the kernel's hit/miss branch tests ``char & 3``, so we
+    generate characters with a two-state Markov process over that bit
+    pattern (mean hit-run ~12, mean miss-run ~4, ~75% hits overall).
+    The run structure is what lets the sequencer's path-based predictor
+    do its job — fully random paths would make the kernel control-bound,
+    which real compress is not.
+    """
+    rng = random.Random(seed)
+    in_hit_run = True
+    for i in range(count):
+        if in_hit_run:
+            low = rng.choice((1, 2, 3))
+            if rng.random() > 0.92:
+                in_hit_run = False
+        else:
+            low = 0
+            if rng.random() > 0.75:
+                in_hit_run = True
+        a.word(base + 4 * i, (rng.randint(0, 63) << 2) | low)
+
+
+@register(
+    "espresso",
+    "specint92",
+    "large cube-sweep tasks; simple always-taken cover recurrences",
+)
+def build_espresso(scale="ref"):
+    rows = scaled(700, scale)
+    table_rows = 64
+    row_words = 20  # 4 cover-recurrence words + 16 independent words
+    row_bytes = row_words * 4
+    layout = MemoryLayout()
+    cubes_base = layout.region("cubes", table_rows * row_words)
+    cover_base = layout.region("cover", 4)
+    globals_base = layout.region("globals", 2)
+    output_base = layout.region("output", rows + 65)
+
+    a = Assembler("espresso")
+    fill_random_words(a, cubes_base, table_rows * row_words, 0, 0xFFFF, seed=0xE5)
+
+    a.li("s0", cubes_base)
+    a.li("s1", cover_base)
+    a.li("s2", globals_base)
+    a.li("s3", 0)
+    a.li("s4", rows)
+    a.li("s5", output_base)
+    a.li("s6", cubes_base + table_rows * row_bytes)  # wrap limit
+
+    a.label("row")
+    a.task_begin()
+    # inductions first so successor tasks start immediately
+    a.addi("s0", "s0", row_bytes)
+    a.addi("s5", "s5", 4)
+    a.addi("s3", "s3", 1)
+    a.blt("s0", "s6", "norewind")
+    a.li("s0", cubes_base)
+    a.label("norewind")
+    # cover[j] |= cube[row][j] for j in 0..3 — the recurrences every row
+    for j in range(4):
+        a.lw("t0", "s0", 4 * j - row_bytes)
+        a.lw("t1", "s1", 4 * j)
+        a.or_("t1", "t1", "t0")
+        a.sw("t1", "s1", 4 * j)
+    # Independent reduction over the remaining 16 words of the row.
+    a.lw("t2", "s0", 16 - row_bytes)
+    for j in range(5, row_words):
+        a.lw("t3", "s0", 4 * j - row_bytes)
+        a.add("t2", "t2", "t3")
+    a.lw("t4", "s0", 16 - row_bytes)
+    for j in range(5, row_words):
+        a.lw("t5", "s0", 4 * j - row_bytes)
+        a.xor("t4", "t4", "t5")
+    # The reduced row value picks the output slot, so this store's
+    # address resolves only at the end of the long task — NEVER/WAIT
+    # stall every later task's loads on it although nothing ever loads
+    # from the output region.
+    a.andi("t7", "t2", 63)
+    a.sll("t7", "t7", 2)
+    a.add("a1", "s5", "t7")
+    a.sw("t2", "a1", 0)          # per-row output (late-resolving address)
+    a.lw("t6", "s2", 0)
+    a.add("t6", "t6", "t2")
+    a.sw("t6", "s2", 0)          # global count recurrence
+    a.blt("s3", "s4", "row")
+    a.halt()
+    return a.assemble()
+
+
+@register(
+    "gcc",
+    "specint92",
+    "pointer chasing; many irregular static pairs with poor locality",
+)
+def build_gcc(scale="ref"):
+    visits = scaled(3500, scale)
+    nodes = 2048  # 32 KB of IR nodes: the chase misses the data cache,
+    # and those misses are the timing jitter that makes dependence
+    # violations intermittent (as they are in real gcc)
+    node_words = 4  # value, next, aux, flags
+    symtab_words = 16
+    layout = MemoryLayout()
+    nodes_base = layout.region("nodes", nodes * node_words)
+    symtab_base = layout.region("symtab", symtab_words)
+    globals_base = layout.region("globals", 2)
+
+    strtab_words = 64
+    strtab_base = layout.region("strtab", strtab_words)
+
+    a = Assembler("gcc")
+    start = fill_permutation_links_for_gcc(a, nodes_base, nodes, node_words)
+    fill_random_words(a, symtab_base, symtab_words, 0, 100, seed=0x6CC2)
+    fill_random_words(a, strtab_base, strtab_words, 1, 0xFFF, seed=0x6CC4)
+
+    a.li("s0", start)
+    a.li("s1", symtab_base)
+    a.li("s2", globals_base)
+    a.li("s3", 0)
+    a.li("s4", visits)
+    a.li("s5", strtab_base)
+    a.li("s7", start)  # previously visited node
+    a.li("s6", 0x13579)  # LCG state
+
+    a.label("visit")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+    a.lw("t0", "s0", 0)          # node value (conflicts on revisits)
+    a.lw("t1", "s0", 4)          # next pointer (read-only chain)
+    a.lw("t2", "s0", 12)         # flags select the update path
+    # Independent work: hash a read-only identifier string — parallel
+    # slack that blind speculation overlaps with the pointer chase but
+    # non-speculative policies serialize behind earlier stores.
+    a.andi("t9", "s3", (strtab_words // 4) - 1)
+    a.sll("t9", "t9", 4)
+    a.add("a2", "s5", "t9")
+    a.lw("t7", "a2", 0)
+    a.lw("t8", "a2", 4)
+    a.sll("t7", "t7", 1)
+    a.xor("t7", "t7", "t8")
+    a.lw("t8", "a2", 8)
+    a.add("t7", "t7", "t8")
+    a.lw("t8", "a2", 12)
+    a.xor("t7", "t7", "t8")
+    a.andi("t7", "t7", 0xFFFF)
+    a.xor("t7", "t7", "t0")      # fold in the node value
+    a.andi("t7", "t7", 0xFFFF)
+    a.move("a0", "s0")           # remember the current node
+    # One visit in eight re-reads the aux field of a recently visited
+    # node (IR passes revisit operands): a true dependence on the aux
+    # store of a task 1..4 back — irregular distance, hard for the DIST
+    # tag to pin down, which is why gcc falls short of the ideal
+    # mechanism.  Consumer and producer sit at similar task depths, so
+    # violations come from cache-miss jitter, not from structure.
+    a.andi("t6", "t2", 7)
+    a.bne("t6", "zero", "fwd")
+    a.lw("t8", "s7", 8)          # trail node's aux (intermittent dep)
+    a.xor("t7", "t7", "t8")
+    a.andi("t7", "t7", 0xFFFF)
+    a.label("fwd")
+    a.sw("t7", "a0", 8)          # aux update (producer, similar depth)
+    a.andi("t6", "s3", 3)        # refresh the revisit trail every 4th visit
+    a.bne("t6", "zero", "keeptrail")
+    a.move("s7", "a0")
+    a.label("keeptrail")
+    a.move("s0", "t1")           # follow the pointer (forwarded early)
+    a.andi("t3", "t2", 15)
+    a.beq("t3", "zero", "case0")  # rare bookkeeping path (1 in 16)
+    a.andi("t3", "t2", 3)
+    a.li("t6", 1)
+    a.blt("t3", "t6", "case1")    # route remainder 0 with case1
+    a.beq("t3", "t6", "case1")
+    a.li("t6", 2)
+    a.beq("t3", "t6", "case2")
+
+    # case3: symbol-table xor update at a pseudo-random slot
+    _emit_symtab_update(a, symtab_words, op="xor", cont="cont")
+    a.label("case2")
+    _emit_symtab_update(a, symtab_words, op="add", cont="cont")
+    a.label("case1")
+    _emit_symtab_update(a, symtab_words, op="or", cont="cont")
+    a.label("case0")
+    a.lw("t5", "s2", 0)
+    a.addi("t5", "t5", 1)
+    a.sw("t5", "s2", 0)          # global counter recurrence (one path in four)
+
+    a.label("cont")
+    a.blt("s3", "s4", "visit")
+    a.halt()
+    return a.assemble()
+
+
+def fill_permutation_links_for_gcc(a, nodes_base, nodes, node_words):
+    """Lay out the gcc-like IR graph: random next-cycle plus random flags."""
+    start = fill_permutation_links(
+        a, nodes_base, nodes, node_words, seed=0x6CC1, offset_words=1
+    )
+    rng = random.Random(0x6CC3)
+    for i in range(nodes):
+        base = nodes_base + i * node_words * 4
+        a.word(base + 0, rng.randint(0, 50))    # value
+        a.word(base + 8, rng.randint(0, 9))     # aux
+        a.word(base + 12, rng.randint(0, 255))  # flags
+    return start
+
+
+def _emit_symtab_update(a, symtab_words, op, cont):
+    """Emit one flag-dispatched symbol-table read-modify-write path."""
+    emit_lcg_step(a, "s6", "t4", symtab_words - 1)
+    a.sll("t4", "t4", 2)
+    a.add("a1", "s1", "t4")
+    a.lw("t5", "a1", 0)
+    getattr(a, {"xor": "xor", "add": "add", "or": "or_"}[op])("t5", "t5", "t0")
+    a.sw("t5", "a1", 0)
+    a.j(cont)
+
+
+@register(
+    "sc",
+    "specint92",
+    "cell propagation; recurrences plus late store addresses (WAIT-hostile)",
+)
+def build_sc(scale="ref"):
+    cells = scaled(1800, scale, minimum=32)
+    phases = 2
+    k = 6
+    hist_words = 32
+    coeff_words = 16
+    layout = MemoryLayout()
+    cells_base = layout.region("cells", cells + 1)
+    hist_base = layout.region("hist", hist_words)
+    coeff_base = layout.region("coeffs", coeff_words)
+
+    a = Assembler("sc")
+    fill_random_words(a, cells_base, cells + 1, 0, 9, seed=0x5C)
+    fill_random_words(a, coeff_base, coeff_words, 1, 5, seed=0x5D)
+
+    a.li("s2", hist_base)
+    a.li("s7", coeff_base)
+    a.li("s5", 0)
+    a.li("s6", phases)
+    a.label("phase")
+    a.li("s0", cells_base + 4 * k)       # &cells[k]
+    a.li("s3", k)
+    a.li("s4", cells)
+
+    a.label("cell")
+    a.task_begin()
+    a.addi("s0", "s0", 4)                # induction first
+    a.addi("s3", "s3", 1)
+    # independent pre-work (formula coefficient fetch) pushes the
+    # recurrence loads to mid-task, so their producers in the previous
+    # task sometimes execute first — mis-speculations are intermittent
+    a.andi("t6", "s3", coeff_words - 1)
+    a.sll("t6", "t6", 2)
+    a.add("a2", "s7", "t6")
+    a.lw("t7", "a2", 0)                  # read-only coefficient
+    a.lw("t0", "s0", -8)                 # cells[i-1]: distance-1 recurrence
+    a.lw("t1", "s0", -4 * k - 4)         # cells[i-k]: distance-k recurrence
+    a.add("t2", "t0", "t1")
+    a.add("t2", "t2", "t7")
+    a.andi("t2", "t2", 0xFFFF)
+    a.sw("t2", "s0", -4)                 # cells[i] =
+    # Recalculation histogram: bucket index hangs off a multiply chain
+    # fed by the fresh cell value, so the store address resolves at the
+    # end of the task — every following cell's loads must wait for it
+    # under NEVER/WAIT.
+    a.andi("t3", "t2", 1)
+    a.beq("t3", "zero", "skip")
+    a.mul("t4", "t2", "t2")
+    a.srl("t4", "t4", 1)
+    a.andi("t4", "t4", hist_words - 1)
+    a.sll("t4", "t4", 2)
+    a.add("a1", "s2", "t4")
+    a.lw("t5", "a1", 0)                  # hist bucket (late, irregular)
+    a.addi("t5", "t5", 1)
+    a.sw("t5", "a1", 0)                  # late-resolving store address
+    a.label("skip")
+    a.blt("s3", "s4", "cell")
+
+    a.addi("s5", "s5", 1)
+    a.blt("s5", "s6", "phase")
+    a.halt()
+    return a.assemble()
+
+
+@register(
+    "xlisp",
+    "specint92",
+    "two-arena cons allocation; free-list recurrence at distance 2",
+)
+def build_xlisp(scale="ref"):
+    allocations = scaled(2800, scale, minimum=64)
+    heap_nodes = 128
+    mark_depth = 4
+    layout = MemoryLayout()
+    heap_base = layout.region("heap", heap_nodes * 2)
+    globals_base = layout.region("globals", 6)
+    # globals: freehead[0], freehead[1], (unused), alloc_count, mark_acc
+    props_words = 64
+    props_base = layout.region("props", props_words)
+
+    a = Assembler("xlisp")
+    # Two circular free lists threaded through the cdr fields: arena 0
+    # owns even cells, arena 1 odd cells.  Alternating allocations give
+    # the free-list recurrence a task distance of 2, the way a
+    # generational allocator interleaves its nurseries.
+    for arena in (0, 1):
+        members = [i for i in range(heap_nodes) if i % 2 == arena]
+        for pos, i in enumerate(members):
+            succ = members[(pos + 1) % len(members)]
+            a.word(heap_base + i * 8 + 4, heap_base + succ * 8)
+        a.word(globals_base + 4 * arena, heap_base + members[0] * 8)
+    a.li("s1", heap_base)        # list head lives in a register (the
+    a.li("s2", globals_base)     # compiler keeps it there; the ring
+    a.li("s3", 0)                # forwards it between tasks)
+    a.li("s4", allocations)
+    a.li("s5", props_base)
+
+    a.label("alloc")
+    a.task_begin()
+    a.addi("s3", "s3", 1)        # induction first
+    # independent pre-work: look up the symbol's property words and
+    # compute the car value before touching the allocator state — the
+    # parallel slack real xlisp evaluation has around each cons
+    a.andi("t9", "s3", (props_words // 2) - 1)
+    a.sll("t9", "t9", 3)
+    a.add("a2", "s5", "t9")
+    a.lw("t7", "a2", 0)          # read-only property word
+    a.lw("t8", "a2", 4)          # read-only property word
+    a.sll("t6", "s3", 1)
+    a.xor("t6", "t6", "s3")
+    a.add("t6", "t6", "t7")
+    a.xor("t6", "t6", "t8")
+    a.addi("t6", "t6", 17)
+    a.andi("t6", "t6", 0xFFF)
+    a.andi("t4", "s3", 7)        # mark-walk trigger
+    a.andi("t5", "s3", 1)        # arena select
+    a.sll("t5", "t5", 2)
+    a.add("a1", "s2", "t5")      # &freehead[arena]
+    a.lw("t0", "a1", 0)          # freehead: distance-2 recurrence
+    a.lw("t1", "t0", 4)          # next free cell
+    a.sw("t1", "a1", 0)          # freehead = next
+    a.sw("t6", "t0", 0)          # car = computed value
+    a.sw("s1", "t0", 4)          # cdr = old list head
+    a.move("s1", "t0")           # list head = new cell
+    a.bne("t4", "zero", "cont")
+
+    # Mark walk (same task): every 8th allocation traverses the youngest
+    # cells, reading car/cdr values stored by the last few tasks, and
+    # batches the allocation-count bookkeeping.
+    a.lw("t3", "s2", 12)
+    a.addi("t3", "t3", 8)
+    a.sw("t3", "s2", 12)         # alloc_count += batch
+    a.move("t5", "t0")
+    a.li("t7", 0)
+    for _ in range(mark_depth):
+        a.lw("t8", "t5", 0)      # car written by a recent alloc task
+        a.add("t7", "t7", "t8")
+        a.lw("t5", "t5", 4)      # cdr written by a recent alloc task
+    a.sw("t7", "s2", 16)         # mark_acc
+
+    a.label("cont")
+    a.blt("s3", "s4", "alloc")
+    a.halt()
+    return a.assemble()

@@ -1,0 +1,125 @@
+"""Tests for the distributed MDPT/MDST organization (Section 4.4.5)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MDPT, CounterPredictor, DistributedSynchronization, SynchronizationEngine
+from repro.core.unified import SlottedMDST
+
+ST_PC, LD_PC = 10, 20
+
+
+def make(stages=4):
+    return DistributedSynchronization(stages, capacity=8, predictor="sync")
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DistributedSynchronization(0)
+
+
+def test_mis_speculation_broadcast_allocates_everywhere():
+    dist = make()
+    dist.record_mis_speculation(ST_PC, LD_PC, distance=1)
+    assert dist.mdpt_entry_counts() == [1, 1, 1, 1]
+    assert dist.copies_coherent()
+    assert dist.broadcasts == 1
+
+
+def test_load_uses_only_local_copy():
+    dist = make()
+    dist.record_mis_speculation(ST_PC, LD_PC, distance=1)
+    result = dist.load_request(2, LD_PC, instance=3, ldid="L3")
+    assert not result.proceed
+    # the condition variable lives only in stage 2's copy
+    waiting = [len(copy.mdst) for copy in dist.copies]
+    assert waiting == [0, 0, 1, 0]
+
+
+def test_store_broadcast_finds_remote_waiter():
+    dist = make()
+    dist.record_mis_speculation(ST_PC, LD_PC, distance=1)
+    dist.load_request(3, LD_PC, instance=3, ldid="L3")
+    woken = dist.store_request(2, ST_PC, instance=2, stid="S2")
+    assert woken == ["L3"]
+    # the completed synchronization freed the entry in the load's copy;
+    # the other copies pre-set full entries that remain for cleanup
+    assert len(dist.copies[3].mdst) == 0
+
+
+def test_store_without_local_match_does_not_broadcast():
+    dist = make()
+    woken = dist.store_request(0, ST_PC, instance=2)
+    assert woken == []
+    assert dist.broadcasts == 0
+
+
+def test_prediction_updates_keep_copies_coherent():
+    dist = make()
+    dist.record_mis_speculation(ST_PC, LD_PC, distance=1)
+    dist.reward_pair(ST_PC, LD_PC)
+    dist.penalize_pair(ST_PC, LD_PC)
+    assert dist.copies_coherent()
+    values = {copy.mdpt.get(ST_PC, LD_PC).state.value for copy in dist.copies}
+    assert len(values) == 1
+
+
+def test_release_load_is_local():
+    dist = make()
+    dist.record_mis_speculation(ST_PC, LD_PC, distance=1)
+    dist.load_request(1, LD_PC, instance=3, ldid="L3")
+    pairs = dist.release_load(1, "L3")
+    assert pairs == [(ST_PC, LD_PC)]
+    assert len(dist.copies[1].mdst) == 0
+
+
+def test_squash_applies_to_all_copies():
+    dist = make()
+    dist.record_mis_speculation(ST_PC, LD_PC, distance=1)
+    dist.load_request(0, LD_PC, instance=3, ldid=5)
+    dist.store_request(1, ST_PC, instance=9, stid=9)  # pre-sets everywhere
+    dist.squash(lambda ldid: True, lambda stid: True)
+    assert all(len(copy.mdst) == 0 for copy in dist.copies)
+
+
+def _centralized():
+    return SynchronizationEngine(
+        MDPT(8, CounterPredictor()), SlottedMDST(8 * 4, slots_per_pair=4)
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=5, max_value=40))
+def test_distributed_matches_centralized_wake_decisions(seed, n_ops):
+    """For any interleaving, the distributed organization wakes exactly
+    the loads a centralized one would (the paper presents it as a pure
+    bandwidth optimization)."""
+    rng = random.Random(seed)
+    dist = make(stages=4)
+    central = _centralized()
+    parked = set()
+    for step in range(n_ops):
+        op = rng.random()
+        instance = rng.randrange(6)
+        stage = instance % 4
+        if op < 0.3:
+            d = rng.randrange(1, 3)
+            dist.record_mis_speculation(ST_PC, LD_PC, d)
+            central.record_mis_speculation(ST_PC, LD_PC, d)
+        elif op < 0.65:
+            ldid = "L%d" % step
+            r1 = dist.load_request(stage, LD_PC, instance, ldid)
+            r2 = central.load_request(LD_PC, instance, ldid)
+            assert r1.proceed == r2.proceed, (step, instance)
+            if not r1.proceed:
+                parked.add(ldid)
+        else:
+            w1 = dist.store_request(stage, ST_PC, instance, stid="S%d" % step)
+            w2 = central.store_request(ST_PC, instance, stid="S%d" % step)
+            assert sorted(w1) == sorted(w2), (step, instance)
+            parked -= set(w1)
+    # coherence is maintained throughout
+    assert dist.copies_coherent()

@@ -1,0 +1,192 @@
+"""Protocol tests for the synchronization engine (paper Figure 4)."""
+
+from repro.core import (
+    MDPT,
+    MDST,
+    CounterPredictor,
+    SynchronizationEngine,
+    make_predictor,
+    make_unified_engine,
+)
+
+ST_PC = 10
+LD_PC = 20
+
+
+def make_engine(predictor=None, mdpt_capacity=8, mdst_capacity=16):
+    mdpt = MDPT(mdpt_capacity, predictor or CounterPredictor())
+    mdst = MDST(mdst_capacity)
+    return SynchronizationEngine(mdpt, mdst)
+
+
+def test_unknown_load_proceeds_without_prediction():
+    engine = make_engine()
+    result = engine.load_request(LD_PC, instance=3, ldid="L3")
+    assert result.proceed
+    assert not result.predicted
+    assert result.waits == []
+
+
+def test_figure4_load_first_then_store_signals(subtests=None):
+    """Figure 4 parts (b)-(d): load arrives first, waits, store signals."""
+    engine = make_engine()
+    engine.record_mis_speculation(ST_PC, LD_PC, distance=1)
+
+    # LD3 (instance 3) is ready before ST2 (instance 2)
+    result = engine.load_request(LD_PC, instance=3, ldid="L3")
+    assert result.predicted
+    assert not result.proceed
+    assert len(result.waits) == 1
+    assert result.waits[0].waiting
+
+    # ST2 arrives: signals instance 2 + DIST = 3
+    woken = engine.store_request(ST_PC, instance=2, stid="S2")
+    assert woken == ["L3"]
+    # the entry was freed after the completed synchronization
+    assert len(engine.mdst) == 0
+
+
+def test_figure4_store_first_then_load_proceeds():
+    """Figure 4 parts (e)-(f): store executes first; load must not wait."""
+    engine = make_engine()
+    engine.record_mis_speculation(ST_PC, LD_PC, distance=1)
+
+    woken = engine.store_request(ST_PC, instance=2, stid="S2")
+    assert woken == []
+    assert len(engine.mdst) == 1  # full entry pre-set for the load
+
+    result = engine.load_request(LD_PC, instance=3, ldid="L3")
+    assert result.proceed
+    assert result.predicted
+    assert result.satisfied_early
+    assert len(engine.mdst) == 0  # consumed
+
+
+def test_store_with_wrong_instance_does_not_wake():
+    engine = make_engine()
+    engine.record_mis_speculation(ST_PC, LD_PC, distance=1)
+    engine.load_request(LD_PC, instance=3, ldid="L3")
+    woken = engine.store_request(ST_PC, instance=7, stid="S7")  # targets 8
+    assert woken == []
+    # the load is still parked; the store pre-set a full entry for inst 8
+    assert len(engine.mdst) == 2
+
+
+def test_fallback_release_frees_and_reports_pairs():
+    engine = make_engine()
+    engine.record_mis_speculation(ST_PC, LD_PC, distance=1)
+    engine.load_request(LD_PC, instance=3, ldid="L3")
+    pairs = engine.release_load("L3")
+    assert pairs == [(ST_PC, LD_PC)]
+    assert len(engine.mdst) == 0
+    assert engine.fallback_releases == 1
+
+
+def test_release_of_unparked_load_is_noop():
+    engine = make_engine()
+    assert engine.release_load("nobody") == []
+    assert engine.fallback_releases == 0
+
+
+def test_multiple_dependences_wake_after_last_signal():
+    """Section 4.4.4: a load synchronizing on several dependences runs
+    only after all of them are satisfied."""
+    engine = make_engine()
+    st2_pc = 11
+    engine.record_mis_speculation(ST_PC, LD_PC, distance=1)
+    engine.record_mis_speculation(st2_pc, LD_PC, distance=2)
+
+    result = engine.load_request(LD_PC, instance=5, ldid="L5")
+    assert len(result.waits) == 2
+
+    woken = engine.store_request(ST_PC, instance=4, stid="A")  # edge 1 of 2
+    assert woken == []
+    woken = engine.store_request(st2_pc, instance=3, stid="B")  # edge 2 of 2
+    assert woken == ["L5"]
+
+
+def test_multiple_loads_of_same_store():
+    engine = make_engine()
+    ld2_pc = 21
+    engine.record_mis_speculation(ST_PC, LD_PC, distance=1)
+    engine.record_mis_speculation(ST_PC, ld2_pc, distance=2)
+    engine.load_request(LD_PC, instance=3, ldid="L3")
+    engine.load_request(ld2_pc, instance=4, ldid="L4")
+    woken = engine.store_request(ST_PC, instance=2, stid="S")
+    assert sorted(woken) == ["L3", "L4"]
+
+
+def test_counter_predictor_stops_synchronizing_after_false_predictions():
+    engine = make_engine()
+    engine.record_mis_speculation(ST_PC, LD_PC, distance=1)
+    # three false predictions drive the counter below threshold
+    for i in range(3):
+        engine.load_request(LD_PC, instance=10 + i, ldid="L%d" % i)
+        for pair in engine.release_load("L%d" % i):
+            engine.penalize_pair(*pair)
+    result = engine.load_request(LD_PC, instance=20, ldid="L20")
+    assert result.proceed
+    assert not result.predicted
+
+
+def test_esync_synchronizes_only_on_matching_path():
+    engine = make_engine(predictor=make_predictor("esync"))
+    engine.record_mis_speculation(ST_PC, LD_PC, distance=1, store_task_pc=500)
+
+    # task at distance 1 runs the recorded producer task: synchronize
+    result = engine.load_request(
+        LD_PC, instance=3, ldid="L3", task_pc_of=lambda inst: 500
+    )
+    assert not result.proceed
+
+    # task at distance 1 runs some other task: do not synchronize
+    result = engine.load_request(
+        LD_PC, instance=4, ldid="L4", task_pc_of=lambda inst: 777
+    )
+    assert result.proceed
+    assert not result.predicted
+
+
+def test_squash_invalidates_parked_loads():
+    engine = make_engine()
+    engine.record_mis_speculation(ST_PC, LD_PC, distance=1)
+    engine.load_request(LD_PC, instance=3, ldid=("task3", 0))
+    engine.load_request(LD_PC, instance=9, ldid=("task9", 0))
+    engine.squash(lambda ldid: ldid[0] == "task9")
+    assert len(engine.mdst) == 1
+    assert engine.mdst.find(ST_PC, LD_PC, 3) is not None
+
+
+def test_reward_and_penalize_pairs_change_counter():
+    engine = make_engine()
+    entry = engine.record_mis_speculation(ST_PC, LD_PC, distance=1)
+    start = entry.state.value
+    engine.reward_pair(ST_PC, LD_PC)
+    assert entry.state.value == start + 1
+    engine.penalize_pair(ST_PC, LD_PC)
+    engine.penalize_pair(ST_PC, LD_PC)
+    assert entry.state.value == start - 1
+    # unknown pairs are ignored
+    engine.reward_pair(1, 2)
+    engine.penalize_pair(1, 2)
+
+
+def test_unified_engine_end_to_end():
+    engine = make_unified_engine(capacity=4, stages=4, predictor="sync")
+    engine.record_mis_speculation(ST_PC, LD_PC, distance=1)
+    result = engine.load_request(LD_PC, instance=3, ldid="L3")
+    assert not result.proceed
+    woken = engine.store_request(ST_PC, instance=2)
+    assert woken == ["L3"]
+
+
+def test_unified_engine_slot_conflict_stalls_newcomer():
+    engine = make_unified_engine(capacity=4, stages=2, predictor="always")
+    engine.record_mis_speculation(ST_PC, LD_PC, distance=1)
+    r1 = engine.load_request(LD_PC, instance=3, ldid="L3")
+    r2 = engine.load_request(LD_PC, instance=5, ldid="L5")  # same slot (mod 2)
+    assert not r1.proceed
+    # L3 keeps its condition variable; L5 cannot synchronize and proceeds
+    assert r2.proceed
+    assert engine.mdst.find(ST_PC, LD_PC, 3) is not None
+    assert engine.mdst.find(ST_PC, LD_PC, 5) is None

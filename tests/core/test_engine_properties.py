@@ -1,0 +1,119 @@
+"""Property-based tests of the MDPT/MDST synchronization protocol.
+
+A random interleaving of mis-speculation reports, load requests, store
+requests, fallback releases, and squashes must uphold the structural
+invariants of Section 4: capacity is never exceeded, parked loads are
+always releasable (no deadlock), and a signal wakes a load exactly
+once.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MDPT, MDST, CounterPredictor, SynchronizationEngine
+
+
+def make_engine(mdpt_capacity=8, mdst_capacity=16):
+    return SynchronizationEngine(
+        MDPT(mdpt_capacity, CounterPredictor()), MDST(mdst_capacity)
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=10, max_value=80))
+def test_random_protocol_interleavings_keep_invariants(seed, n_ops):
+    rng = random.Random(seed)
+    engine = make_engine()
+    store_pcs = [10, 11, 12]
+    load_pcs = [20, 21]
+    parked = {}  # ldid -> instance
+    woken = set()
+    next_ldid = 0
+
+    for step in range(n_ops):
+        op = rng.random()
+        instance = rng.randrange(8)
+        if op < 0.25:
+            engine.record_mis_speculation(
+                rng.choice(store_pcs), rng.choice(load_pcs), rng.randrange(1, 4)
+            )
+        elif op < 0.55:
+            ldid = "L%d" % next_ldid
+            next_ldid += 1
+            result = engine.load_request(rng.choice(load_pcs), instance, ldid)
+            if not result.proceed:
+                parked[ldid] = instance
+        elif op < 0.85:
+            for ldid in engine.store_request(
+                rng.choice(store_pcs), instance, stid="S%d" % step
+            ):
+                assert ldid in parked, "woke a load that never parked"
+                assert ldid not in woken, "double wake"
+                woken.add(ldid)
+                del parked[ldid]
+        elif op < 0.95 and parked:
+            ldid = rng.choice(sorted(parked))
+            engine.release_load(ldid)
+            del parked[ldid]
+        elif parked:
+            # squash a random suffix of parked loads
+            cut = rng.choice(sorted(parked))
+            engine.squash(lambda l: l >= cut)
+            parked = {l: i for l, i in parked.items() if l < cut}
+
+        # invariants after every step
+        assert len(engine.mdst) <= engine.mdst.capacity
+        assert len(engine.mdpt) <= engine.mdpt.capacity
+        waiting_ldids = {
+            e.ldid for e in engine.mdst if e.waiting
+        }
+        # every waiting entry belongs to a load we believe is parked
+        assert waiting_ldids <= set(parked), (waiting_ldids, parked)
+
+    # no deadlock: force-release every parked load and verify the MDST
+    # drops all of their condition variables
+    for ldid in sorted(parked):
+        engine.release_load(ldid)
+    assert not any(e.waiting for e in engine.mdst)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_signal_then_free_never_leaks_entries(seed):
+    rng = random.Random(seed)
+    engine = make_engine(mdst_capacity=4)
+    engine.record_mis_speculation(10, 20, 1)
+    live_peak = 0
+    for i in range(50):
+        instance = rng.randrange(1000)
+        if rng.random() < 0.5:
+            result = engine.load_request(20, instance, "L%d" % i)
+            if not result.proceed:
+                engine.store_request(10, instance - 1, stid="S%d" % i)
+        else:
+            engine.store_request(10, instance - 1, stid="S%d" % i)
+            engine.load_request(20, instance, "L%d" % i)
+        live_peak = max(live_peak, len(engine.mdst))
+    # completed synchronizations always free their entries; only full
+    # pre-set entries for never-seen loads can accumulate, bounded by
+    # capacity
+    assert live_peak <= engine.mdst.capacity
+    assert not any(e.waiting for e in engine.mdst)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=12),
+    st.integers(min_value=1, max_value=3),
+)
+def test_store_first_instances_always_let_loads_through(instances, distance):
+    """Whenever the store side runs first for an instance, the load must
+    proceed without waiting (Figure 4(e)-(f)) — for any instance mix."""
+    engine = make_engine(mdst_capacity=64)
+    engine.record_mis_speculation(10, 20, distance)
+    for i, instance in enumerate(instances):
+        engine.store_request(10, instance, stid="S%d" % i)
+        result = engine.load_request(20, instance + distance, ldid="L%d" % i)
+        assert result.proceed

@@ -1,0 +1,96 @@
+"""Tests for the Memory Dependence Prediction Table."""
+
+import pytest
+
+from repro.core import MDPT, CounterPredictor, make_predictor
+
+
+def make_table(capacity=4, predictor=None):
+    return MDPT(capacity, predictor or CounterPredictor())
+
+
+def test_allocation_on_mis_speculation():
+    mdpt = make_table()
+    entry = mdpt.record_mis_speculation(store_pc=10, load_pc=20, distance=1)
+    assert entry.valid
+    assert entry.store_pc == 10 and entry.load_pc == 20
+    assert entry.distance == 1
+    assert len(mdpt) == 1
+    assert mdpt.allocations == 1
+
+
+def test_repeated_mis_speculation_reuses_entry():
+    mdpt = make_table()
+    e1 = mdpt.record_mis_speculation(10, 20, 1)
+    e2 = mdpt.record_mis_speculation(10, 20, 1)
+    assert e1 is e2
+    assert len(mdpt) == 1
+    assert mdpt.allocations == 1
+
+
+def test_distance_refreshes_on_new_mis_speculation():
+    mdpt = make_table()
+    mdpt.record_mis_speculation(10, 20, 1)
+    entry = mdpt.record_mis_speculation(10, 20, 3)
+    assert entry.distance == 3
+
+
+def test_lookup_by_load_and_store_pc():
+    mdpt = make_table()
+    mdpt.record_mis_speculation(10, 20, 1)
+    mdpt.record_mis_speculation(11, 20, 2)  # second store for the same load
+    mdpt.record_mis_speculation(10, 21, 1)  # second load for the same store
+    assert {e.store_pc for e in mdpt.lookup_load(20)} == {10, 11}
+    assert {e.load_pc for e in mdpt.lookup_store(10)} == {20, 21}
+    assert mdpt.lookup_load(99) == []
+
+
+def test_capacity_evicts_lru():
+    mdpt = make_table(capacity=2)
+    mdpt.record_mis_speculation(1, 101, 1)
+    mdpt.record_mis_speculation(2, 102, 1)
+    mdpt.lookup_load(101)  # refresh pair (1, 101)
+    mdpt.record_mis_speculation(3, 103, 1)  # evicts (2, 102)
+    assert mdpt.get(1, 101) is not None
+    assert mdpt.get(2, 102) is None
+    assert mdpt.get(3, 103) is not None
+    assert mdpt.evictions == 1
+
+
+def test_eviction_unlinks_secondary_indices():
+    mdpt = make_table(capacity=1)
+    mdpt.record_mis_speculation(1, 101, 1)
+    mdpt.record_mis_speculation(2, 102, 1)
+    assert mdpt.lookup_load(101) == []
+    assert mdpt.lookup_store(1) == []
+
+
+def test_mis_speculation_strengthens_predictor():
+    predictor = CounterPredictor()
+    mdpt = make_table(predictor=predictor)
+    entry = mdpt.record_mis_speculation(1, 2, 1)
+    start = entry.state.value
+    mdpt.record_mis_speculation(1, 2, 1)
+    assert entry.state.value == start + 1
+
+
+def test_predict_delegates_to_predictor():
+    mdpt = MDPT(4, make_predictor("esync"))
+    entry = mdpt.record_mis_speculation(1, 2, 1, store_task_pc=50)
+    assert mdpt.predict(entry, candidate_task_pc=50) is True
+    assert mdpt.predict(entry, candidate_task_pc=51) is False
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        MDPT(0, CounterPredictor())
+
+
+def test_iteration_and_get():
+    mdpt = make_table()
+    mdpt.record_mis_speculation(1, 2, 1)
+    mdpt.record_mis_speculation(3, 4, 2)
+    pairs = {e.pair for e in mdpt}
+    assert pairs == {(1, 2), (3, 4)}
+    assert mdpt.get(3, 4).distance == 2
+    assert mdpt.get(9, 9) is None

@@ -1,0 +1,165 @@
+"""Tests for the Memory Dependence Synchronization Table."""
+
+import pytest
+
+from repro.core import MDST, SlottedMDST
+
+
+def test_allocate_and_find():
+    mdst = MDST(4)
+    entry = mdst.allocate(load_pc=20, store_pc=10, instance=3, ldid="L3")
+    assert entry.valid
+    assert entry.waiting
+    assert not entry.full
+    assert mdst.find(10, 20, 3) is entry
+    assert mdst.find(10, 20, 4) is None
+
+
+def test_allocate_same_key_returns_existing():
+    mdst = MDST(4)
+    e1 = mdst.allocate(20, 10, 3)
+    e2 = mdst.allocate(20, 10, 3)
+    assert e1 is e2
+    assert len(mdst) == 1
+
+
+def test_signal_waiting_load_returns_ldid():
+    mdst = MDST(4)
+    entry = mdst.allocate(20, 10, 3, ldid="L3")
+    ldid = mdst.signal(entry, stid="S2")
+    assert ldid == "L3"
+    assert entry.full
+    assert entry.stid == "S2"
+
+
+def test_signal_without_waiter_presets_full():
+    mdst = MDST(4)
+    entry = mdst.allocate(20, 10, 3, stid="S2", full=True)
+    assert entry.full
+    assert not entry.waiting
+    # a pre-set full entry signals nobody
+    entry2 = mdst.allocate(21, 11, 4)
+    assert mdst.signal(entry2) is None  # no ldid parked
+
+
+def test_signal_invalid_entry_raises():
+    mdst = MDST(4)
+    entry = mdst.allocate(20, 10, 3)
+    mdst.free(entry)
+    with pytest.raises(ValueError):
+        mdst.signal(entry)
+
+
+def test_free_is_idempotent():
+    mdst = MDST(4)
+    entry = mdst.allocate(20, 10, 3)
+    mdst.free(entry)
+    mdst.free(entry)
+    assert len(mdst) == 0
+
+
+def test_overflow_frees_full_entry_first():
+    mdst = MDST(2)
+    full_entry = mdst.allocate(20, 10, 1, stid="S", full=True)
+    mdst.allocate(21, 11, 2, ldid="L2")
+    e3 = mdst.allocate(22, 12, 3, ldid="L3")
+    assert e3 is not None
+    assert not full_entry.valid
+    assert mdst.overflow_drops == 1
+
+
+def test_overflow_with_all_waiting_fails():
+    mdst = MDST(2)
+    mdst.allocate(20, 10, 1, ldid="L1")
+    mdst.allocate(21, 11, 2, ldid="L2")
+    assert mdst.allocate(22, 12, 3, ldid="L3") is None
+    assert mdst.failed_allocations == 1
+
+
+def test_entries_for_ldid():
+    mdst = MDST(4)
+    mdst.allocate(20, 10, 3, ldid="L")
+    mdst.allocate(20, 11, 3, ldid="L")  # second dependence, same load
+    mdst.allocate(21, 12, 4, ldid="M")
+    assert len(mdst.entries_for_ldid("L")) == 2
+    assert len(mdst.entries_for_ldid("M")) == 1
+
+
+def test_invalidate_squashed_loads():
+    mdst = MDST(4)
+    mdst.allocate(20, 10, 3, ldid=("task", 5))
+    mdst.allocate(21, 11, 4, ldid=("task", 2))
+    mdst.invalidate_squashed(lambda ldid: ldid[1] >= 4)
+    assert len(mdst) == 1
+    assert mdst.find(10, 20, 3) is None  # squashed load's entry dropped
+    assert mdst.find(11, 21, 4) is not None  # the other load survives
+
+
+def test_invalidate_squashed_stores():
+    mdst = MDST(4)
+    mdst.allocate(20, 10, 3, stid=("task", 7), full=True)
+    mdst.allocate(21, 11, 4, stid=("task", 1), full=True)
+    mdst.invalidate_squashed(lambda ldid: False, lambda stid: stid[1] >= 5)
+    assert len(mdst) == 1
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        MDST(0)
+
+
+# ---------------------------------------------------------------------------
+# SlottedMDST (the combined-structure constraint)
+# ---------------------------------------------------------------------------
+
+def test_slotted_same_slot_with_waiting_load_stalls_newcomer():
+    mdst = SlottedMDST(16, slots_per_pair=4)
+    e1 = mdst.allocate(20, 10, 1, ldid="L1")
+    e5 = mdst.allocate(20, 10, 5, ldid="L5")  # 5 % 4 == 1 % 4
+    assert e1.valid  # the parked load keeps its condition variable
+    assert e5 is None  # newcomer stalls (paper Section 4.4.4)
+    assert mdst.failed_allocations == 1
+
+
+def test_slotted_same_slot_with_full_entry_replaces():
+    mdst = SlottedMDST(16, slots_per_pair=4)
+    e1 = mdst.allocate(20, 10, 1, stid="S1", full=True)
+    e5 = mdst.allocate(20, 10, 5, ldid="L5")
+    assert not e1.valid  # stale full entry evicted
+    assert e5.valid
+    assert mdst.slot_replacements == 1
+
+
+def test_slotted_distinct_slots_coexist():
+    mdst = SlottedMDST(16, slots_per_pair=4)
+    entries = [mdst.allocate(20, 10, i) for i in range(4)]
+    assert all(e.valid for e in entries)
+    assert len(mdst) == 4
+
+
+def test_slotted_same_instance_reuses_entry():
+    mdst = SlottedMDST(16, slots_per_pair=4)
+    e1 = mdst.allocate(20, 10, 1)
+    e2 = mdst.allocate(20, 10, 1)
+    assert e1 is e2
+
+
+def test_slotted_different_pairs_do_not_collide():
+    mdst = SlottedMDST(16, slots_per_pair=4)
+    e1 = mdst.allocate(20, 10, 1)
+    e2 = mdst.allocate(21, 11, 1)
+    assert e1.valid and e2.valid
+
+
+def test_slotted_free_clears_slot():
+    mdst = SlottedMDST(16, slots_per_pair=4)
+    e1 = mdst.allocate(20, 10, 1)
+    mdst.free(e1)
+    e5 = mdst.allocate(20, 10, 5)
+    assert e5.valid
+    assert mdst.slot_replacements == 0
+
+
+def test_slotted_rejects_bad_slots():
+    with pytest.raises(ValueError):
+        SlottedMDST(16, slots_per_pair=0)

@@ -1,0 +1,118 @@
+"""Tests for the dependence predictors."""
+
+import pytest
+
+from repro.core import (
+    AlwaysSyncPredictor,
+    CounterPredictor,
+    PathSensitivePredictor,
+    make_predictor,
+)
+
+
+def test_always_predictor_always_predicts():
+    pred = AlwaysSyncPredictor()
+    state = pred.make_state()
+    assert pred.predict(state) is True
+    pred.on_false_prediction(state)
+    assert pred.predict(state) is True
+
+
+def test_counter_initial_state_predicts_sync():
+    """Entries are allocated on a mis-speculation, so a fresh entry must
+    predict synchronization."""
+    pred = CounterPredictor()
+    state = pred.make_state()
+    assert pred.predict(state) is True
+
+
+def test_counter_weakens_below_threshold():
+    pred = CounterPredictor(bits=3, threshold=3)
+    state = pred.make_state()
+    pred.on_false_prediction(state)
+    assert pred.predict(state) is False
+
+
+def test_counter_saturates_high():
+    pred = CounterPredictor(bits=3, threshold=3)
+    state = pred.make_state()
+    for _ in range(20):
+        pred.on_mis_speculation(state)
+    assert state.value == 7
+    for _ in range(3):
+        pred.on_successful_sync(state)
+    assert state.value == 7
+
+
+def test_counter_saturates_low():
+    pred = CounterPredictor(bits=3, threshold=3)
+    state = pred.make_state()
+    for _ in range(20):
+        pred.on_false_prediction(state)
+    assert state.value == 0
+
+
+def test_counter_recovers_after_renewed_mis_speculation():
+    pred = CounterPredictor()
+    state = pred.make_state()
+    for _ in range(10):
+        pred.on_false_prediction(state)
+    assert not pred.predict(state)
+    for _ in range(3):
+        pred.on_mis_speculation(state)
+    assert pred.predict(state)
+
+
+def test_counter_rejects_bad_configuration():
+    with pytest.raises(ValueError):
+        CounterPredictor(bits=0)
+    with pytest.raises(ValueError):
+        CounterPredictor(bits=3, threshold=0)
+    with pytest.raises(ValueError):
+        CounterPredictor(bits=3, threshold=9)
+    with pytest.raises(ValueError):
+        CounterPredictor(initial=99)
+
+
+def test_path_predictor_requires_matching_task_pc():
+    pred = PathSensitivePredictor()
+    state = pred.make_state()
+    pred.on_mis_speculation(state, store_task_pc=100)
+    assert pred.predict(state, candidate_task_pc=100) is True
+    assert pred.predict(state, candidate_task_pc=200) is False
+    assert pred.predict(state, candidate_task_pc=None) is False
+
+
+def test_path_predictor_without_path_info_falls_back_to_counter():
+    pred = PathSensitivePredictor()
+    state = pred.make_state()
+    # no store task PC recorded yet
+    assert pred.predict(state, candidate_task_pc=123) is True
+
+
+def test_path_predictor_counter_still_gates():
+    pred = PathSensitivePredictor()
+    state = pred.make_state()
+    pred.on_mis_speculation(state, store_task_pc=100)
+    for _ in range(10):
+        pred.on_false_prediction(state)
+    assert pred.predict(state, candidate_task_pc=100) is False
+
+
+def test_path_predictor_updates_recorded_path():
+    pred = PathSensitivePredictor()
+    state = pred.make_state()
+    pred.on_mis_speculation(state, store_task_pc=100)
+    pred.on_mis_speculation(state, store_task_pc=300)
+    assert state.store_task_pc == 300
+    assert pred.predict(state, candidate_task_pc=300)
+    assert not pred.predict(state, candidate_task_pc=100)
+
+
+def test_make_predictor_factory():
+    assert isinstance(make_predictor("always"), AlwaysSyncPredictor)
+    assert isinstance(make_predictor("sync"), CounterPredictor)
+    assert isinstance(make_predictor("esync"), PathSensitivePredictor)
+    assert make_predictor("sync", bits=2, threshold=2).maximum == 3
+    with pytest.raises(ValueError):
+        make_predictor("oracle")

@@ -1,0 +1,84 @@
+"""Tests for the store-set predictor (Chrysos & Emer comparison point)."""
+
+import pytest
+
+from repro.core import StoreSetPredictor
+
+
+def test_unseen_pcs_have_no_set():
+    pred = StoreSetPredictor()
+    assert pred.ssid_of(100) is None
+    assert pred.load_fetched(100) is None
+    assert pred.store_fetched(200, "S1") is None
+
+
+def test_violation_assigns_common_set():
+    pred = StoreSetPredictor()
+    pred.on_violation(store_pc=10, load_pc=20)
+    assert pred.ssid_of(10) is not None
+    assert pred.ssid_of(10) == pred.ssid_of(20)
+    assert pred.assignments == 1
+
+
+def test_one_sided_assignment_joins_existing_set():
+    pred = StoreSetPredictor()
+    pred.on_violation(10, 20)
+    pred.on_violation(10, 21)  # load 21 joins store 10's set
+    assert pred.ssid_of(21) == pred.ssid_of(10)
+
+
+def test_merge_rule_smaller_ssid_wins():
+    pred = StoreSetPredictor()
+    pred.on_violation(10, 20)   # set A
+    pred.on_violation(11, 21)   # set B
+    a, b = pred.ssid_of(10), pred.ssid_of(11)
+    assert a != b
+    pred.on_violation(10, 21)   # merge
+    winner = min(a, b)
+    assert pred.ssid_of(10) == winner
+    assert pred.ssid_of(21) == winner
+    assert pred.merges == 1
+
+
+def test_lfst_tracks_last_fetched_store():
+    pred = StoreSetPredictor()
+    pred.on_violation(10, 20)
+    assert pred.store_fetched(10, "S1") is None
+    assert pred.load_fetched(20) == "S1"
+    # a second store replaces the first and depends on it
+    assert pred.store_fetched(10, "S2") == "S1"
+    assert pred.load_fetched(20) == "S2"
+
+
+def test_store_issue_clears_own_entry_only():
+    pred = StoreSetPredictor()
+    pred.on_violation(10, 20)
+    pred.store_fetched(10, "S1")
+    pred.store_fetched(10, "S2")
+    pred.store_issued(10, "S1")  # stale: S2 owns the entry now
+    assert pred.load_fetched(20) == "S2"
+    pred.store_issued(10, "S2")
+    assert pred.load_fetched(20) is None
+
+
+def test_squash_removes_squashed_stores():
+    pred = StoreSetPredictor()
+    pred.on_violation(10, 20)
+    pred.store_fetched(10, 5)
+    pred.squash(lambda sid: sid >= 5)
+    assert pred.load_fetched(20) is None
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StoreSetPredictor(ssit_size=0)
+    with pytest.raises(ValueError):
+        StoreSetPredictor(lfst_size=0)
+
+
+def test_ssit_aliasing_by_index():
+    """PCs that alias in the SSIT share a set — the structural hazard
+    the SSIT size trades against."""
+    pred = StoreSetPredictor(ssit_size=4)
+    pred.on_violation(1, 2)
+    assert pred.ssid_of(5) == pred.ssid_of(1)  # 5 % 4 == 1 % 4

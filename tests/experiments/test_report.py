@@ -1,0 +1,30 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+from repro.experiments.report import PAPER_CLAIMS, write_report
+
+
+def test_claims_cover_every_experiment():
+    from repro.experiments import ALL_EXPERIMENTS
+
+    assert set(PAPER_CLAIMS) == set(ALL_EXPERIMENTS)
+
+
+def test_write_report_subset(tmp_path):
+    path = tmp_path / "EXPERIMENTS.md"
+    body = write_report(str(path), scale="tiny", experiments=["table2", "table4"])
+    on_disk = path.read_text()
+    assert on_disk == body
+    assert "# EXPERIMENTS" in body
+    assert "## table2" in body
+    assert "## table4" in body
+    assert "## table3" not in body
+    # each section carries both the paper claim and the measured table
+    assert "**Paper:**" in body
+    assert "**Measured:**" in body
+    assert "functional unit" in body
+
+
+def test_report_states_scale(tmp_path):
+    path = tmp_path / "r.md"
+    body = write_report(str(path), scale="tiny", experiments=["table2"])
+    assert "Scale: `tiny`" in body

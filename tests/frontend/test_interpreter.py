@@ -1,0 +1,268 @@
+"""Tests for the functional interpreter."""
+
+import pytest
+
+from repro.frontend import Interpreter, InterpreterError, TraceLimitExceeded, run_program
+from repro.isa import Assembler
+
+
+def run(asm_builder, **kwargs):
+    program = asm_builder.assemble()
+    interp = Interpreter(program, **kwargs)
+    trace = interp.run()
+    return interp, trace
+
+
+def test_arithmetic_basics():
+    a = Assembler()
+    a.li("t0", 6)
+    a.li("t1", 7)
+    a.mul("t2", "t0", "t1")
+    a.add("t3", "t2", "t0")
+    a.sub("t4", "t3", "t1")
+    a.halt()
+    interp, _ = run(a)
+    assert interp.registers[10] == 42
+    assert interp.registers[11] == 48
+    assert interp.registers[12] == 41
+
+
+def test_logical_and_compare_ops():
+    a = Assembler()
+    a.li("t0", 0b1100)
+    a.li("t1", 0b1010)
+    a.and_("t2", "t0", "t1")
+    a.or_("t3", "t0", "t1")
+    a.xor("t4", "t0", "t1")
+    a.slt("t5", "t1", "t0")
+    a.slti("t6", "t0", 100)
+    a.halt()
+    interp, _ = run(a)
+    assert interp.registers[10] == 0b1000
+    assert interp.registers[11] == 0b1110
+    assert interp.registers[12] == 0b0110
+    assert interp.registers[13] == 1
+    assert interp.registers[14] == 1
+
+
+def test_shifts():
+    a = Assembler()
+    a.li("t0", 1)
+    a.sll("t1", "t0", 4)
+    a.li("t2", -16)
+    a.sra("t3", "t2", 2)
+    a.srl("t4", "t2", 28)
+    a.halt()
+    interp, _ = run(a)
+    assert interp.registers[9] == 16
+    assert interp.registers[11] == -4
+    assert interp.registers[12] == 15  # logical shift of two's-complement -16
+
+
+def test_division_truncates_toward_zero():
+    a = Assembler()
+    a.li("t0", -7)
+    a.li("t1", 2)
+    a.div("t2", "t0", "t1")
+    a.rem("t3", "t0", "t1")
+    a.halt()
+    interp, _ = run(a)
+    assert interp.registers[10] == -3
+    assert interp.registers[11] == -1
+
+
+def test_division_by_zero_raises():
+    a = Assembler()
+    a.li("t0", 1)
+    a.div("t1", "t0", "zero")
+    a.halt()
+    with pytest.raises(InterpreterError):
+        run(a)
+
+
+def test_zero_register_is_immutable():
+    a = Assembler()
+    a.li("r0", 99)
+    a.addi("r0", "r0", 5)
+    a.move("t0", "zero")
+    a.halt()
+    interp, _ = run(a)
+    assert interp.registers[0] == 0
+    assert interp.registers[8] == 0
+
+
+def test_memory_round_trip():
+    a = Assembler()
+    a.li("a0", 64)
+    a.li("t0", 1234)
+    a.sw("t0", "a0", 0)
+    a.lw("t1", "a0", 0)
+    a.halt()
+    interp, trace = run(a)
+    assert interp.registers[9] == 1234
+    assert interp.memory[64] == 1234
+    loads = list(trace.loads())
+    stores = list(trace.stores())
+    assert len(loads) == 1 and len(stores) == 1
+    assert loads[0].addr == stores[0].addr == 64
+    assert loads[0].value == 1234
+
+
+def test_uninitialized_memory_reads_zero():
+    a = Assembler()
+    a.li("a0", 128)
+    a.lw("t0", "a0", 0)
+    a.halt()
+    interp, _ = run(a)
+    assert interp.registers[8] == 0
+
+
+def test_initial_memory_visible():
+    a = Assembler()
+    a.word(32, 77)
+    a.li("a0", 32)
+    a.lw("t0", "a0", 0)
+    a.halt()
+    interp, _ = run(a)
+    assert interp.registers[8] == 77
+
+
+def test_unaligned_access_raises():
+    a = Assembler()
+    a.li("a0", 2)
+    a.lw("t0", "a0", 0)
+    a.halt()
+    with pytest.raises(InterpreterError):
+        run(a)
+
+
+def test_negative_address_raises():
+    a = Assembler()
+    a.li("a0", -4)
+    a.lw("t0", "a0", 0)
+    a.halt()
+    with pytest.raises(InterpreterError):
+        run(a)
+
+
+def test_loop_and_branch_outcomes():
+    a = Assembler()
+    a.li("t0", 0)
+    a.label("loop")
+    a.addi("t0", "t0", 1)
+    a.slti("t1", "t0", 3)
+    a.bne("t1", "zero", "loop")
+    a.halt()
+    interp, trace = run(a)
+    assert interp.registers[8] == 3
+    branches = [e for e in trace if e.inst.is_branch]
+    assert [e.taken for e in branches] == [True, True, False]
+
+
+def test_all_branch_variants():
+    a = Assembler()
+    a.li("t0", 1)
+    a.li("t1", 2)
+    outcomes = []
+    for idx, op in enumerate(("beq", "bne", "blt", "bge", "ble", "bgt")):
+        getattr(a, op)("t0", "t1", "skip%d" % idx)
+        a.nop()
+        a.label("skip%d" % idx)
+    a.halt()
+    _, trace = run(a)
+    taken = [e.taken for e in trace if e.inst.is_branch]
+    assert taken == [False, True, True, False, True, False]
+
+
+def test_call_and_return():
+    a = Assembler()
+    a.li("t0", 5)
+    a.jal("double")
+    a.halt()
+    a.label("double")
+    a.add("t0", "t0", "t0")
+    a.jr("ra")
+    interp, trace = run(a)
+    assert interp.registers[8] == 10
+    # JAL recorded ra = return pc
+    assert interp.registers[31] == 2
+
+
+def test_fp_operations():
+    a = Assembler()
+    a.li("f0", 9)
+    a.li("f1", 2)
+    a.fadd_s("f2", "f0", "f1")
+    a.fmul_d("f3", "f0", "f1")
+    a.fdiv_s("f4", "f0", "f1")
+    a.fsqrt_d("f5", "f0")
+    a.halt()
+    interp, _ = run(a)
+    assert interp.registers[34] == 11
+    assert interp.registers[35] == 18
+    assert interp.registers[36] == 4.5
+    assert interp.registers[37] == 3.0
+
+
+def test_fp_division_by_zero_raises():
+    a = Assembler()
+    a.li("f0", 1)
+    a.fdiv_s("f1", "f0", "zero")
+    a.halt()
+    with pytest.raises(InterpreterError):
+        run(a)
+
+
+def test_fp_sqrt_of_negative_raises():
+    a = Assembler()
+    a.li("f0", -1)
+    a.fsqrt_s("f1", "f0")
+    a.halt()
+    with pytest.raises(InterpreterError):
+        run(a)
+
+
+def test_trace_limit_enforced():
+    a = Assembler()
+    a.label("spin")
+    a.j("spin")
+    a.halt()
+    program = a.assemble()
+    with pytest.raises(TraceLimitExceeded):
+        Interpreter(program, max_instructions=100).run()
+
+
+def test_task_boundaries_split_dynamic_tasks():
+    a = Assembler()
+    a.li("t0", 0)
+    a.label("loop")
+    a.task_begin()
+    a.addi("t0", "t0", 1)
+    a.slti("t1", "t0", 4)
+    a.bne("t1", "zero", "loop")
+    a.halt()
+    _, trace = run(a)
+    # 1 instruction before the loop, then 4 iterations, plus halt in last task
+    assert trace.count_tasks() == 5
+    slices = trace.task_slices()
+    assert len(slices[0]) == 1
+    assert all(len(s) == 3 for s in slices[1:4])
+    # the task PC of loop tasks is the loop header
+    assert all(e.task_pc == 1 for s in slices[1:] for e in s)
+
+
+def test_first_instruction_task_entry_does_not_double_count():
+    a = Assembler()
+    a.task_begin()
+    a.li("t0", 1)
+    a.halt()
+    _, trace = run(a)
+    assert trace.count_tasks() == 1
+
+
+def test_run_program_convenience():
+    a = Assembler()
+    a.li("t0", 3)
+    a.halt()
+    trace = run_program(a.assemble())
+    assert len(trace) == 2

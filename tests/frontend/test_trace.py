@@ -1,0 +1,104 @@
+"""Tests for Trace utilities and the true-dependence oracle."""
+
+from repro.frontend import run_program
+from repro.isa import Assembler
+
+
+def make_store_load_chain():
+    """store to A; load A; store to A; load A -> two true edges."""
+    a = Assembler("chain")
+    a.li("a0", 16)
+    a.li("t0", 1)
+    a.sw("t0", "a0", 0)     # seq 2: store #1
+    a.lw("t1", "a0", 0)     # seq 3: load #1  <- store #1
+    a.addi("t1", "t1", 1)
+    a.sw("t1", "a0", 0)     # seq 5: store #2
+    a.lw("t2", "a0", 0)     # seq 6: load #2  <- store #2
+    a.halt()
+    return run_program(a.assemble())
+
+
+def test_load_producers_exact_edges():
+    trace = make_store_load_chain()
+    producers = trace.load_producers()
+    assert producers == {3: 2, 6: 5}
+
+
+def test_load_from_initial_memory_has_no_producer():
+    a = Assembler()
+    a.word(8, 5)
+    a.li("a0", 8)
+    a.lw("t0", "a0", 0)
+    a.halt()
+    trace = run_program(a.assemble())
+    (load,) = trace.loads()
+    assert trace.load_producers()[load.seq] is None
+
+
+def test_intervening_store_to_other_address_ignored():
+    a = Assembler()
+    a.li("a0", 16)
+    a.li("a1", 32)
+    a.li("t0", 7)
+    a.sw("t0", "a0", 0)     # store to 16 (seq 3)
+    a.sw("t0", "a1", 0)     # store to 32 (seq 4)
+    a.lw("t1", "a0", 0)     # load 16 <- seq 3, not 4
+    a.halt()
+    trace = run_program(a.assemble())
+    (load,) = trace.loads()
+    assert trace.load_producers()[load.seq] == 3
+
+
+def test_dependence_edges_yields_entry_pairs():
+    trace = make_store_load_chain()
+    edges = list(trace.dependence_edges())
+    assert len(edges) == 2
+    for store, load in edges:
+        assert store.is_store and load.is_load
+        assert store.addr == load.addr
+        assert store.seq < load.seq
+
+
+def test_counts_are_consistent():
+    trace = make_store_load_chain()
+    assert trace.count_loads() == 2
+    assert trace.count_stores() == 2
+    summary = trace.summary()
+    assert summary["loads"] == 2
+    assert summary["stores"] == 2
+    assert summary["instructions"] == len(trace)
+
+
+def test_task_slices_cover_whole_trace():
+    a = Assembler()
+    a.li("t0", 0)
+    a.label("loop")
+    a.task_begin()
+    a.addi("t0", "t0", 1)
+    a.slti("t1", "t0", 3)
+    a.bne("t1", "zero", "loop")
+    a.halt()
+    trace = run_program(a.assemble())
+    slices = trace.task_slices()
+    assert sum(len(s) for s in slices) == len(trace)
+    # entries within a slice all share the task id
+    for task_id, entries in enumerate(slices):
+        assert all(e.task_id == task_id for e in entries)
+    # sequence numbers are globally increasing in commit order
+    seqs = [e.seq for s in slices for e in s]
+    assert seqs == sorted(seqs)
+
+
+def test_producers_cached_and_stable():
+    trace = make_store_load_chain()
+    first = trace.load_producers()
+    second = trace.load_producers()
+    assert first is second
+
+
+def test_trace_indexing_and_repr():
+    trace = make_store_load_chain()
+    entry = trace[3]
+    assert entry.seq == 3
+    assert entry.is_load
+    assert "pc=" in repr(entry)

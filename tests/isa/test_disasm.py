@@ -1,0 +1,95 @@
+"""Disassembler tests: text round-trips through the parser with
+identical execution for every workload program."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import run_program
+from repro.isa import Assembler, disassemble, parse_assembly
+from repro.workloads import RandomProgramConfig, all_workloads, generate_program
+
+
+def roundtrip(program):
+    return parse_assembly(disassemble(program))
+
+
+def traces_match(p1, p2, limit=2000):
+    t1 = run_program(p1, max_instructions=10_000_000)
+    t2 = run_program(p2, max_instructions=10_000_000)
+    assert len(t1) == len(t2)
+    assert [e.pc for e in t1][:limit] == [e.pc for e in t2][:limit]
+    assert [e.addr for e in t1][:limit] == [e.addr for e in t2][:limit]
+    assert [e.value for e in t1][:limit] == [e.value for e in t2][:limit]
+    assert [e.task_id for e in t1][:limit] == [e.task_id for e in t2][:limit]
+
+
+def test_simple_roundtrip():
+    a = Assembler("rt")
+    a.word(8, 42)
+    a.li("a0", 8)
+    a.label("loop")
+    a.task_begin()
+    a.lw("t0", "a0", 0)
+    a.addi("t0", "t0", -1)
+    a.sw("t0", "a0", 0)
+    a.bgt("t0", "zero", "loop")
+    a.halt()
+    original = a.assemble()
+    restored = roundtrip(original)
+    assert len(restored) == len(original)
+    traces_match(original, restored)
+
+
+def test_nonzero_entry_roundtrip():
+    a = Assembler()
+    a.nop()
+    a.label("main")
+    a.li("t0", 1)
+    a.halt()
+    original = a.assemble(entry="main")
+    restored = roundtrip(original)
+    assert restored.entry == original.entry
+
+
+def test_fp_and_complex_roundtrip():
+    a = Assembler()
+    a.li("f0", 9)
+    a.li("f1", 3)
+    a.fadd_d("f2", "f0", "f1")
+    a.fsqrt_s("f3", "f0")
+    a.mul("t0", "f0", "f1")
+    a.rem("t1", "t0", "f1")
+    a.lui("t2", 2)
+    a.sra("t3", "t2", 4)
+    a.halt()
+    traces_match(a.assemble(), roundtrip(a.assemble()))
+
+
+def test_call_return_roundtrip():
+    a = Assembler()
+    a.jal("fn")
+    a.halt()
+    a.label("fn")
+    a.addi("t0", "t0", 7)
+    a.jr("ra")
+    traces_match(a.assemble(), roundtrip(a.assemble()))
+
+
+@pytest.mark.parametrize(
+    "workload", all_workloads(), ids=lambda w: w.name
+)
+def test_every_workload_roundtrips_through_text(workload):
+    program = workload.program("tiny")
+    restored = roundtrip(program)
+    assert len(restored) == len(program)
+    traces_match(program, restored, limit=500)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**16))
+def test_random_programs_roundtrip(seed):
+    config = RandomProgramConfig(tasks=6, seed=seed)
+    program = generate_program(config)
+    restored = roundtrip(program)
+    traces_match(program, restored, limit=500)

@@ -1,0 +1,130 @@
+"""Tests for binary instruction/program encoding, including round-trip
+property tests over every workload program."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import run_program
+from repro.isa import (
+    Assembler,
+    EncodingError,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+    load_program,
+    save_program,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.workloads import all_workloads
+
+
+def test_instruction_roundtrip_basic():
+    a = Assembler()
+    a.addi("t0", "t1", -5)
+    a.lw("t2", "a0", 8)
+    a.sw("t2", "a0", 12)
+    a.halt()
+    program = a.assemble()
+    for inst in program:
+        decoded = decode_instruction(encode_instruction(inst))
+        assert decoded.op is inst.op
+        assert decoded.rd == inst.rd
+        assert decoded.rs1 == inst.rs1
+        assert decoded.rs2 == inst.rs2
+        assert decoded.imm == inst.imm
+
+
+def test_branch_target_roundtrip():
+    a = Assembler()
+    a.label("top")
+    a.beq("t0", "zero", "top")
+    a.halt()
+    program = a.assemble()
+    decoded = decode_instruction(encode_instruction(program[0]))
+    assert decoded.target == 0
+
+
+def test_task_entry_flag_roundtrip():
+    a = Assembler()
+    a.task_begin()
+    a.nop()
+    a.halt()
+    program = a.assemble()
+    assert decode_instruction(encode_instruction(program[0])).task_entry
+    assert not decode_instruction(encode_instruction(program[1])).task_entry
+
+
+def test_bad_blob_rejected():
+    with pytest.raises(EncodingError):
+        decode_instruction(b"short")
+    with pytest.raises(EncodingError):
+        decode_instruction(b"\xff" * 8)  # invalid opcode ordinal
+    with pytest.raises(EncodingError):
+        decode_program(b"NOPE" + b"\x00" * 16)
+
+
+def test_program_image_roundtrip_preserves_execution():
+    a = Assembler("img")
+    a.word(64, 5)
+    a.li("a0", 64)
+    a.lw("t0", "a0", 0)
+    a.addi("t0", "t0", 1)
+    a.sw("t0", "a0", 0)
+    a.halt()
+    original = a.assemble()
+    restored = decode_program(encode_program(original))
+    assert restored.name == "img"
+    assert restored.entry == original.entry
+    assert restored.initial_memory == original.initial_memory
+    t1 = run_program(original)
+    t2 = run_program(restored)
+    assert [e.pc for e in t1] == [e.pc for e in t2]
+    assert [e.addr for e in t1] == [e.addr for e in t2]
+    assert [e.value for e in t1] == [e.value for e in t2]
+
+
+def test_save_and_load_file(tmp_path):
+    a = Assembler("disk")
+    a.li("t0", 3)
+    a.halt()
+    program = a.assemble()
+    path = tmp_path / "prog.rpro"
+    save_program(program, path)
+    loaded = load_program(path)
+    assert loaded.name == "disk"
+    assert len(loaded) == 2
+
+
+def test_every_workload_roundtrips():
+    """The image format must handle every program the suites generate."""
+    for workload in all_workloads():
+        program = workload.program("tiny")
+        restored = decode_program(encode_program(program))
+        assert len(restored) == len(program), workload.name
+        t1 = run_program(program)
+        t2 = run_program(restored)
+        assert len(t1) == len(t2), workload.name
+        assert [e.addr for e in t1][:100] == [e.addr for e in t2][:100]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    op=st.sampled_from([Opcode.ADD, Opcode.ADDI, Opcode.LW, Opcode.SW, Opcode.MUL]),
+    rd=st.one_of(st.none(), st.integers(min_value=0, max_value=62)),
+    rs1=st.one_of(st.none(), st.integers(min_value=0, max_value=62)),
+    rs2=st.one_of(st.none(), st.integers(min_value=0, max_value=62)),
+    imm=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    task_entry=st.booleans(),
+)
+def test_instruction_roundtrip_property(op, rd, rs1, rs2, imm, task_entry):
+    inst = Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm, task_entry=task_entry)
+    decoded = decode_instruction(encode_instruction(inst))
+    assert decoded.op is inst.op
+    assert decoded.rd == inst.rd
+    assert decoded.rs1 == inst.rs1
+    assert decoded.rs2 == inst.rs2
+    assert decoded.imm == inst.imm
+    assert decoded.task_entry == inst.task_entry

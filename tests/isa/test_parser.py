@@ -1,0 +1,146 @@
+"""Tests for the text assembly parser."""
+
+import pytest
+
+from repro.frontend import run_program
+from repro.isa import ParseError, parse_assembly, parse_file
+from repro.isa.opcodes import Opcode
+
+COUNTER = """
+# a counted memory recurrence
+.name counter
+.word 0x100 0
+    li   s1, 0x100
+    li   s3, 0
+    li   s4, 10
+loop:
+    .task
+    addi s3, s3, 1
+    lw   t0, 0(s1)
+    addi t0, t0, 1
+    sw   t0, 0(s1)
+    blt  s3, s4, loop
+    halt
+"""
+
+
+def test_parse_and_run_counter():
+    program = parse_assembly(COUNTER)
+    assert program.name == "counter"
+    trace = run_program(program)
+    assert trace.count_tasks() == 11  # preamble + 10 iterations
+    # the memory cell ends at 10
+    final_store = [e for e in trace if e.is_store][-1]
+    assert final_store.value == 10
+
+
+def test_comments_and_blank_lines_ignored():
+    program = parse_assembly("""
+    ; semicolon comment
+    li t0, 1   # trailing comment
+    halt
+    """)
+    assert len(program) == 2
+
+
+def test_memory_operand_forms():
+    program = parse_assembly("""
+    lw t0, -8(sp)
+    sw t0, 0x10(a0)
+    halt
+    """)
+    assert program[0].imm == -8
+    assert program[1].imm == 0x10
+
+
+def test_branch_and_jump_forms():
+    program = parse_assembly("""
+    j end
+    beq t0, t1, end
+    jal end
+    jr ra
+    end:
+    halt
+    """)
+    assert program[0].op is Opcode.J
+    assert program[0].target == 4
+    assert program[1].target == 4
+    assert program[3].op is Opcode.JR
+
+
+def test_and_or_mnemonics():
+    program = parse_assembly("""
+    and t0, t1, t2
+    or  t3, t4, t5
+    xor t6, t7, t8
+    halt
+    """)
+    assert program[0].op is Opcode.AND
+    assert program[1].op is Opcode.OR
+
+
+def test_fp_mnemonics():
+    program = parse_assembly("""
+    fadd.s f0, f1, f2
+    fdiv.d f3, f4, f5
+    fsqrt.s f6, f7
+    halt
+    """)
+    assert program[0].op is Opcode.FADD_S
+    assert program[1].op is Opcode.FDIV_D
+    assert program[2].op is Opcode.FSQRT_S
+
+
+def test_entry_directive_by_label_and_pc():
+    by_label = parse_assembly("""
+    .entry main
+    nop
+    main:
+    halt
+    """)
+    assert by_label.entry == 1
+    by_pc = parse_assembly("""
+    .entry 1
+    nop
+    halt
+    """)
+    assert by_pc.entry == 1
+
+
+def test_word_directive_multiple_values():
+    program = parse_assembly("""
+    .word 8 1 2 3
+    halt
+    """)
+    assert program.initial_memory == {8: 1, 12: 2, 16: 3}
+
+
+def test_errors_carry_line_numbers():
+    with pytest.raises(ParseError) as err:
+        parse_assembly("nop\nbogus t0, t1\nhalt")
+    assert err.value.lineno == 2
+
+    with pytest.raises(ParseError) as err:
+        parse_assembly("lw t0, t1\nhalt")
+    assert "offset(base)" in str(err.value)
+
+    with pytest.raises(ParseError):
+        parse_assembly(".word 8\nhalt")
+
+    with pytest.raises(ParseError):
+        parse_assembly(".bogus\nhalt")
+
+    with pytest.raises(ParseError):
+        parse_assembly("addi t0, t9, nine\nhalt")  # bad register name
+
+
+def test_unknown_label_reported():
+    with pytest.raises(Exception):
+        parse_assembly("j nowhere\nhalt")
+
+
+def test_parse_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(COUNTER)
+    program = parse_file(path)
+    assert program.name == "counter"

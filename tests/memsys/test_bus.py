@@ -1,0 +1,44 @@
+"""Tests for the split-transaction bus model."""
+
+import pytest
+
+from repro.memsys import BusConfig, MemoryBus
+
+
+def test_transfer_latency_first_and_extra_beats():
+    bus = MemoryBus(BusConfig(words_per_beat=4, first_beat_latency=10, extra_beat_latency=1))
+    assert bus.transfer_latency(1) == 10
+    assert bus.transfer_latency(4) == 10
+    assert bus.transfer_latency(5) == 11
+    assert bus.transfer_latency(16) == 13
+
+
+def test_transfer_latency_rejects_zero_words():
+    with pytest.raises(ValueError):
+        MemoryBus().transfer_latency(0)
+
+
+def test_requests_serialize():
+    bus = MemoryBus()
+    t1 = bus.request(0, 4)
+    assert t1 == 10
+    t2 = bus.request(0, 4)  # must wait for the first transfer
+    assert t2 == 20
+    assert bus.contention_cycles == 10
+    assert bus.transfers == 2
+
+
+def test_idle_bus_starts_immediately():
+    bus = MemoryBus()
+    bus.request(0, 4)
+    t = bus.request(50, 4)
+    assert t == 60
+    assert bus.contention_cycles == 0
+
+
+def test_reset():
+    bus = MemoryBus()
+    bus.request(0, 4)
+    bus.reset()
+    assert bus.transfers == 0
+    assert bus.request(0, 4) == 10

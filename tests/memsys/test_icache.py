@@ -1,0 +1,74 @@
+"""Tests for the instruction cache model and its fetch-path integration."""
+
+from repro.memsys import ICacheConfig, InstructionCache
+from repro.multiscalar import MultiscalarConfig, simulate, make_policy
+from repro.workloads import get_workload
+
+
+def test_geometry():
+    cfg = ICacheConfig()
+    assert cfg.sets == 256  # 32KB / (64B * 2 ways)
+    assert cfg.set_of(0) == 0
+    assert cfg.set_of(64) == 1
+    assert cfg.set_of(64 * 256) == 0
+
+
+def test_cold_miss_then_hit():
+    cache = InstructionCache()
+    assert cache.access(0) == 1 + 13
+    assert cache.access(0) == 1
+    assert cache.access(32) == 1  # same 64-byte block
+    assert cache.hits == 2 and cache.misses == 1
+
+
+def test_two_way_associativity():
+    cfg = ICacheConfig(size_bytes=256, ways=2, block_bytes=64)  # 2 sets
+    cache = InstructionCache(cfg)
+    a, b, c = 0, 128, 256  # all map to set 0
+    cache.access(a)
+    cache.access(b)
+    assert cache.lookup(a) and cache.lookup(b)
+    cache.access(c)  # evicts LRU (a)
+    assert not cache.lookup(a)
+    assert cache.lookup(b) and cache.lookup(c)
+
+
+def test_lru_refresh_on_hit():
+    cfg = ICacheConfig(size_bytes=256, ways=2, block_bytes=64)
+    cache = InstructionCache(cfg)
+    a, b, c = 0, 128, 256
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)  # refresh a; b becomes LRU
+    cache.access(c)
+    assert cache.lookup(a)
+    assert not cache.lookup(b)
+
+
+def test_miss_rate_and_reset():
+    cache = InstructionCache()
+    cache.access(0)
+    cache.access(0)
+    assert cache.miss_rate == 0.5
+    cache.reset()
+    assert cache.accesses == 0
+    assert not cache.lookup(0)
+
+
+def test_simulator_with_icache_still_correct():
+    trace = get_workload("compress").trace("tiny")
+    base = simulate(trace, MultiscalarConfig(stages=4, model_icache=False))
+    modeled = simulate(trace, MultiscalarConfig(stages=4, model_icache=True))
+    assert modeled.committed_instructions == base.committed_instructions
+    assert modeled.tasks_committed == base.tasks_committed
+    # cold i-cache misses cost cycles; a warm loop amortizes them
+    assert modeled.cycles >= base.cycles
+    assert modeled.cycles <= base.cycles * 1.5 + 100
+
+
+def test_icache_policy_ordering_preserved():
+    trace = get_workload("sc").trace("tiny")
+    cfg = MultiscalarConfig(stages=4, model_icache=True)
+    always = simulate(trace, cfg, make_policy("always"))
+    psync = simulate(trace, cfg, make_policy("psync"))
+    assert psync.cycles <= always.cycles

@@ -1,0 +1,130 @@
+"""Configuration-sensitivity tests: the timing model must respond to
+each machine parameter in the physically sensible direction."""
+
+import pytest
+
+from repro.frontend import run_program
+from repro.isa import Assembler
+from repro.isa.opcodes import FUClass
+from repro.multiscalar import MultiscalarConfig, simulate, make_policy
+from repro.workloads import get_workload
+
+
+def wide_parallel_trace(iterations=40, width=6):
+    """Each task contains *width* independent ALU chains."""
+    a = Assembler("wide")
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    a.label("top")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+    for w in range(width):
+        reg = "t%d" % w
+        a.addi(reg, reg, w + 1)
+        a.xor(reg, reg, "s3")
+    a.blt("s3", "s4", "top")
+    a.halt()
+    return run_program(a.assemble())
+
+
+def mul_heavy_trace(iterations=30):
+    a = Assembler("mul")
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    a.label("top")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+    for w in range(4):  # four independent multiplies per task
+        reg = "t%d" % w
+        a.mul(reg, "s3", "s3")
+    a.blt("s3", "s4", "top")
+    a.halt()
+    return run_program(a.assemble())
+
+
+def memory_heavy_trace(iterations=30):
+    a = Assembler("mem")
+    a.li("s1", 0x4000)
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    a.label("top")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+    a.addi("s1", "s1", 32)
+    for w in range(4):
+        a.lw("t%d" % w, "s1", 4 * w - 32)
+    a.blt("s3", "s4", "top")
+    a.halt()
+    return run_program(a.assemble())
+
+
+def test_issue_width_helps_parallel_code():
+    trace = wide_parallel_trace()
+    narrow = simulate(trace, MultiscalarConfig(stages=2, issue_width=1))
+    wide = simulate(trace, MultiscalarConfig(stages=2, issue_width=4))
+    assert wide.cycles < narrow.cycles
+
+
+def test_fetch_width_bounds_task_startup():
+    trace = wide_parallel_trace()
+    slow = simulate(trace, MultiscalarConfig(stages=2, fetch_width=1))
+    fast = simulate(trace, MultiscalarConfig(stages=2, fetch_width=4))
+    assert fast.cycles <= slow.cycles
+
+
+def test_rs_window_limits_lookahead():
+    trace = wide_parallel_trace(width=7)
+    tight = simulate(trace, MultiscalarConfig(stages=2, rs_window=2))
+    roomy = simulate(trace, MultiscalarConfig(stages=2, rs_window=32))
+    assert roomy.cycles <= tight.cycles
+
+
+def test_complex_int_fu_count_limits_multiplies():
+    trace = mul_heavy_trace()
+    cfg1 = MultiscalarConfig(stages=2)
+    cfg2 = MultiscalarConfig(stages=2)
+    cfg2.fu_counts = dict(cfg2.fu_counts)
+    cfg2.fu_counts[FUClass.COMPLEX_INT] = 4
+    one_mul = simulate(trace, cfg1)
+    four_mul = simulate(trace, cfg2)
+    assert four_mul.cycles <= one_mul.cycles
+
+
+def test_memory_port_is_a_real_constraint():
+    trace = memory_heavy_trace()
+    cfg_wide_issue = MultiscalarConfig(stages=2, issue_width=4)
+    stats = simulate(trace, cfg_wide_issue)
+    # four loads per task through one port: at least one cycle each
+    assert stats.cycles >= 30 * 4 / 2  # 2 stages
+
+
+def test_fu_latency_override_slows_execution():
+    trace = mul_heavy_trace()
+    base = MultiscalarConfig(stages=2)
+    slow = MultiscalarConfig(stages=2)
+    slow.fu_latencies = dict(slow.fu_latencies)
+    slow.fu_latencies[FUClass.COMPLEX_INT] = 40
+    assert simulate(trace, slow).cycles > simulate(trace, base).cycles
+
+
+def test_ring_latency_slows_cross_task_chains():
+    trace = get_workload("micro-pointer-chase").trace("tiny")
+    fast = simulate(trace, MultiscalarConfig(stages=4, ring_hop_latency=1))
+    slow = simulate(trace, MultiscalarConfig(stages=4, ring_hop_latency=4))
+    assert slow.cycles > fast.cycles
+
+
+def test_mispredict_penalty_hurts_irregular_control():
+    trace = get_workload("compress").trace("tiny")
+    cheap = simulate(trace, MultiscalarConfig(stages=4, mispredict_penalty=0))
+    dear = simulate(trace, MultiscalarConfig(stages=4, mispredict_penalty=30))
+    assert dear.cycles > cheap.cycles
+
+
+def test_squash_penalty_hurts_blind_speculation():
+    trace = get_workload("micro-recurrence-d1").trace("tiny")
+    cheap = simulate(trace, MultiscalarConfig(stages=4, squash_penalty=1),
+                     make_policy("always"))
+    dear = simulate(trace, MultiscalarConfig(stages=4, squash_penalty=30),
+                    make_policy("always"))
+    assert dear.cycles > cheap.cycles

@@ -1,0 +1,89 @@
+"""Tests for the timeline recorder."""
+
+from repro.frontend import run_program
+from repro.isa import Assembler
+from repro.multiscalar import (
+    MultiscalarConfig,
+    MultiscalarSimulator,
+    TimelineRecorder,
+    make_policy,
+)
+
+
+def recurrence_trace(iterations=20):
+    a = Assembler("rec")
+    a.li("s1", 0x1000)
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    a.label("top")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+    a.lw("t0", "s1", 0)
+    a.addi("t0", "t0", 1)
+    a.sw("t0", "s1", 0)
+    a.blt("s3", "s4", "top")
+    a.halt()
+    return run_program(a.assemble())
+
+
+def run_with_recorder(policy_name="always", stages=4):
+    trace = recurrence_trace()
+    recorder = TimelineRecorder(make_policy(policy_name))
+    sim = MultiscalarSimulator(trace, MultiscalarConfig(stages=stages), recorder)
+    stats = sim.run()
+    return sim, recorder, stats
+
+
+def test_recorder_captures_violations_under_always():
+    sim, recorder, stats = run_with_recorder("always")
+    assert len(recorder.violations) == stats.mis_speculations
+    assert len(recorder.squashes) == stats.mis_speculations
+    for record in recorder.violations:
+        assert record.task_distance >= 1
+        assert record.store_seq < record.load_seq
+
+
+def test_recorder_is_transparent():
+    """Wrapping a policy must not change the simulated timing."""
+    trace = recurrence_trace()
+    cfg = MultiscalarConfig(stages=4)
+    bare = MultiscalarSimulator(trace, cfg, make_policy("esync")).run()
+    wrapped = MultiscalarSimulator(
+        trace, cfg, TimelineRecorder(make_policy("esync"))
+    ).run()
+    assert bare.cycles == wrapped.cycles
+    assert bare.mis_speculations == wrapped.mis_speculations
+
+
+def test_violation_summary_groups_by_pair():
+    _, recorder, stats = run_with_recorder("always")
+    summary = recorder.violation_summary()
+    assert sum(summary.values()) == stats.mis_speculations
+    assert len(summary) == 1  # one recurrence pair in this program
+
+
+def test_load_wait_cycles_nonnegative():
+    sim, recorder, _ = run_with_recorder("psync")
+    waits = recorder.load_wait_cycles(sim)
+    assert waits
+    assert all(w >= 0 for w in waits.values())
+
+
+def test_render_produces_bars():
+    sim, recorder, _ = run_with_recorder("always")
+    text = recorder.render(sim, first_task=1, last_task=6)
+    assert "task" in text
+    assert "#" in text
+    assert "violations:" in text
+
+
+def test_render_empty_range():
+    sim, recorder, _ = run_with_recorder("always")
+    assert "no completed tasks" in recorder.render(sim, first_task=10**6)
+
+
+def test_recorder_name_and_psync_clean():
+    sim, recorder, stats = run_with_recorder("psync")
+    assert "PSYNC" in recorder.name
+    assert recorder.violations == []
+    assert "violations" not in recorder.render(sim, 0, 5)

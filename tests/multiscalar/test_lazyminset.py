@@ -1,0 +1,67 @@
+"""Tests for the lazy-min set powering the store-ordering gates."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multiscalar.processor import _LazyMinSet
+
+
+def test_empty_set_has_no_minimum():
+    s = _LazyMinSet()
+    assert s.minimum() is None
+
+
+def test_basic_add_discard_min():
+    s = _LazyMinSet([5, 3, 9])
+    assert s.minimum() == 3
+    s.discard(3)
+    assert s.minimum() == 5
+    s.add(1)
+    assert s.minimum() == 1
+    assert 9 in s
+    assert 3 not in s
+
+
+def test_discard_missing_is_noop():
+    s = _LazyMinSet([2])
+    s.discard(99)
+    assert s.minimum() == 2
+
+
+def test_readding_discarded_element():
+    s = _LazyMinSet([4])
+    s.discard(4)
+    assert s.minimum() is None
+    s.add(4)
+    assert s.minimum() == 4
+
+
+def test_duplicate_adds_are_idempotent():
+    s = _LazyMinSet()
+    s.add(7)
+    s.add(7)
+    s.discard(7)
+    assert s.minimum() is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=200))
+def test_matches_reference_set(seed, n_ops):
+    rng = random.Random(seed)
+    lazy = _LazyMinSet(range(10))
+    reference = set(range(10))
+    for _ in range(n_ops):
+        value = rng.randrange(50)
+        op = rng.random()
+        if op < 0.45:
+            lazy.add(value)
+            reference.add(value)
+        elif op < 0.9:
+            lazy.discard(value)
+            reference.discard(value)
+        else:
+            expected = min(reference) if reference else None
+            assert lazy.minimum() == expected
+    assert lazy.minimum() == (min(reference) if reference else None)

@@ -1,0 +1,229 @@
+"""Tests for the Multiscalar timing simulator."""
+
+import pytest
+
+from repro.frontend import run_program
+from repro.isa import Assembler
+from repro.multiscalar import (
+    MultiscalarConfig,
+    MultiscalarSimulator,
+    make_policy,
+    simulate,
+)
+
+
+def straight_line_trace(n_ops=8):
+    a = Assembler("line")
+    for i in range(n_ops):
+        a.addi("t0", "t0", 1)
+    a.halt()
+    return run_program(a.assemble())
+
+
+def loop_trace(iterations=10, body=None):
+    a = Assembler("loop")
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    a.label("top")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+    if body:
+        body(a)
+    a.blt("s3", "s4", "top")
+    a.halt()
+    return run_program(a.assemble())
+
+
+def recurrence_trace(iterations=20):
+    """Tight distance-1 memory recurrence: every task loads what the
+    previous task stored."""
+    def body(a):
+        a.lw("t0", "s1", 0)
+        a.addi("t0", "t0", 1)
+        a.sw("t0", "s1", 0)
+    a = Assembler("rec")
+    a.li("s1", 0x1000)
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    a.label("top")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+    body(a)
+    a.blt("s3", "s4", "top")
+    a.halt()
+    return run_program(a.assemble())
+
+
+def test_straight_line_completes():
+    stats = simulate(straight_line_trace())
+    assert stats.committed_instructions == 9
+    assert stats.cycles > 0
+    assert stats.mis_speculations == 0
+    assert stats.tasks_committed == 1
+
+
+def test_serial_dependent_chain_takes_at_least_chain_latency():
+    trace = straight_line_trace(n_ops=16)  # all addi on t0: serial chain
+    stats = simulate(trace)
+    assert stats.cycles >= 16  # one cycle per chained add at minimum
+
+
+def test_loop_commits_every_task():
+    trace = loop_trace(iterations=12)
+    stats = simulate(trace)
+    assert stats.tasks_committed == trace.count_tasks()
+    assert stats.committed_instructions == len(trace)
+
+
+def test_ipc_bounded_by_machine_width():
+    trace = loop_trace(iterations=30)
+    cfg = MultiscalarConfig(stages=4, issue_width=2)
+    stats = simulate(trace, cfg)
+    assert stats.ipc <= 4 * 2
+
+
+def test_determinism():
+    trace = recurrence_trace()
+    cfg = MultiscalarConfig(stages=4)
+    s1 = simulate(trace, cfg, make_policy("always"))
+    s2 = simulate(trace, cfg, make_policy("always"))
+    assert s1.cycles == s2.cycles
+    assert s1.mis_speculations == s2.mis_speculations
+
+
+def test_recurrence_mis_speculates_under_always_but_not_psync():
+    trace = recurrence_trace()
+    cfg = MultiscalarConfig(stages=4)
+    always = simulate(trace, cfg, make_policy("always"))
+    psync = simulate(trace, cfg, make_policy("psync"))
+    never = simulate(trace, cfg, make_policy("never"))
+    assert always.mis_speculations > 0
+    assert psync.mis_speculations == 0
+    assert never.mis_speculations == 0
+
+
+def test_policies_commit_identical_architectural_work():
+    """Timing policies may differ in cycles but never in committed work."""
+    trace = recurrence_trace()
+    cfg = MultiscalarConfig(stages=4)
+    results = [
+        simulate(trace, cfg, make_policy(p))
+        for p in ("never", "always", "wait", "psync", "sync", "esync")
+    ]
+    first = results[0]
+    for stats in results[1:]:
+        assert stats.committed_instructions == first.committed_instructions
+        assert stats.committed_loads == first.committed_loads
+        assert stats.committed_stores == first.committed_stores
+        assert stats.tasks_committed == first.tasks_committed
+
+
+def test_wider_machine_not_slower_on_parallel_work():
+    def body(a):
+        # independent per-iteration work
+        a.sll("t0", "s3", 2)
+        a.addi("t1", "t0", 3)
+        a.addi("t2", "t0", 5)
+        a.addi("t3", "t0", 7)
+    trace = loop_trace(iterations=40, body=body)
+    slow = simulate(trace, MultiscalarConfig(stages=2))
+    fast = simulate(trace, MultiscalarConfig(stages=8))
+    assert fast.cycles <= slow.cycles
+
+
+def test_mis_speculation_rate_metric():
+    trace = recurrence_trace()
+    stats = simulate(trace, MultiscalarConfig(stages=4), make_policy("always"))
+    rate = stats.mis_speculations_per_committed_load
+    assert 0 < rate <= 1.0
+    assert rate == stats.mis_speculations / stats.committed_loads
+
+
+def test_mechanism_reduces_mis_speculations_by_an_order():
+    """Paper Table 9: the mechanism cuts mis-speculations dramatically."""
+    trace = recurrence_trace(iterations=60)
+    cfg = MultiscalarConfig(stages=4)
+    always = simulate(trace, cfg, make_policy("always"))
+    sync = simulate(trace, cfg, make_policy("sync"))
+    assert always.mis_speculations >= 10
+    assert sync.mis_speculations <= always.mis_speculations // 5
+
+
+def test_prediction_breakdown_totals_match_loads():
+    trace = recurrence_trace(iterations=30)
+    cfg = MultiscalarConfig(stages=4)
+    stats = simulate(trace, cfg, make_policy("sync"))
+    b = stats.breakdown
+    # every committed load classified once, plus one entry per violation
+    assert b.total == stats.committed_loads + stats.mis_speculations
+
+
+def test_squashed_instructions_counted_only_with_violations():
+    trace = recurrence_trace()
+    cfg = MultiscalarConfig(stages=4)
+    psync = simulate(trace, cfg, make_policy("psync"))
+    always = simulate(trace, cfg, make_policy("always"))
+    assert psync.squashed_instructions == 0
+    if always.mis_speculations:
+        assert always.squashed_instructions > 0
+
+
+def test_control_mispredictions_on_irregular_task_sequence():
+    a = Assembler("branchy")
+    a.li("s3", 0)
+    a.li("s4", 40)
+    a.li("s6", 0x5A5A5)
+    a.label("top")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+    a.mul("s6", "s6", "s6")       # pseudo-random path selection
+    a.andi("s6", "s6", 0xFFFF)
+    a.addi("s6", "s6", 0x9E37)
+    a.andi("t0", "s6", 1)
+    a.beq("t0", "zero", "even")
+    a.label("odd")
+    a.task_begin()
+    a.addi("t1", "t1", 1)
+    a.j("next")
+    a.label("even")
+    a.task_begin()
+    a.addi("t2", "t2", 1)
+    a.label("next")
+    a.blt("s3", "s4", "top")
+    a.halt()
+    trace = run_program(a.assemble())
+    stats = simulate(trace, MultiscalarConfig(stages=4))
+    assert stats.control_mispredictions > 0
+
+
+def test_perfect_prediction_on_regular_loop():
+    trace = loop_trace(iterations=50)
+    stats = simulate(trace, MultiscalarConfig(stages=4))
+    # compulsory mispredictions while the 8-deep path history warms up
+    # (one per distinct warm-up path), then perfect
+    assert stats.control_mispredictions <= 12
+    assert stats.control_mispredictions < trace.count_tasks() // 3
+
+
+def test_simulator_exposes_oracle_helpers():
+    trace = recurrence_trace(iterations=5)
+    sim = MultiscalarSimulator(trace, MultiscalarConfig(stages=2))
+    # before run, static tables exist
+    assert sim.n_tasks == trace.count_tasks()
+    loads = [e.seq for e in trace if e.is_load]
+    assert all(seq in sim.producers for seq in loads)
+    assert sim.task_pc_at(-1) is None
+    assert sim.task_pc_at(10**9) is None
+
+
+def test_cycles_scale_with_trace_length():
+    short = simulate(loop_trace(iterations=5))
+    long = simulate(loop_trace(iterations=50))
+    assert long.cycles > short.cycles
+
+
+def test_stats_summary_keys():
+    stats = simulate(loop_trace(iterations=5))
+    summary = stats.summary()
+    for key in ("cycles", "instructions", "ipc", "loads", "mis_speculations"):
+        assert key in summary

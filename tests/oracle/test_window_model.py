@@ -1,0 +1,117 @@
+"""Tests for the unrealistic OoO window model."""
+
+import pytest
+
+from repro.frontend import run_program
+from repro.isa import Assembler
+from repro.oracle import analyze_window, analyze_windows
+from repro.workloads import get_workload
+
+
+def trace_with_gap(gap_instructions):
+    """store to X; <gap> filler instructions; load X."""
+    a = Assembler("gap")
+    a.li("a0", 16)
+    a.li("t0", 1)
+    a.sw("t0", "a0", 0)
+    for _ in range(gap_instructions):
+        a.addi("t1", "t1", 1)
+    a.lw("t2", "a0", 0)
+    a.halt()
+    return run_program(a.assemble())
+
+
+def test_dependence_inside_window_counts():
+    trace = trace_with_gap(2)  # store at seq 2, load at seq 5: distance 3
+    result = analyze_window(trace, window_size=4)
+    assert result.mis_speculations == 1
+    assert result.loads == 1
+
+
+def test_dependence_outside_window_not_counted():
+    trace = trace_with_gap(5)  # distance 6
+    result = analyze_window(trace, window_size=6)
+    assert result.mis_speculations == 0
+
+
+def test_distance_exactly_window_is_excluded():
+    # "fewer than n instructions apart" is a strict inequality
+    trace = trace_with_gap(3)  # distance 4
+    assert analyze_window(trace, 4).mis_speculations == 0
+    assert analyze_window(trace, 5).mis_speculations == 1
+
+
+def test_mis_speculations_monotone_in_window_size():
+    trace = get_workload("compress").trace("tiny")
+    results = analyze_windows(trace, (8, 16, 32, 64, 128))
+    counts = [r.mis_speculations for r in results]
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0]  # strictly more deps visible at 128 than 8
+
+
+def test_mis_speculations_bounded_by_dependent_loads():
+    trace = get_workload("sc").trace("tiny")
+    dependent = sum(
+        1 for p in trace.load_producers().values() if p is not None
+    )
+    result = analyze_window(trace, 1 << 30)
+    assert result.mis_speculations == dependent
+
+
+def test_pair_counts_sum_to_mis_speculations():
+    trace = get_workload("xlisp").trace("tiny")
+    result = analyze_window(trace, 64)
+    assert sum(result.pair_counts.values()) == result.mis_speculations
+    assert len(result.events) == result.mis_speculations
+
+
+def test_events_reference_real_static_pcs():
+    trace = get_workload("gcc").trace("tiny")
+    result = analyze_window(trace, 128)
+    load_pcs = set(trace.program.static_loads())
+    store_pcs = set(trace.program.static_stores())
+    for store_pc, load_pc in result.events:
+        assert store_pc in store_pcs
+        assert load_pc in load_pcs
+
+
+def test_pairs_for_coverage_full_and_partial():
+    trace = get_workload("compress").trace("tiny")
+    result = analyze_window(trace, 64)
+    full = result.pairs_for_coverage(1.0)
+    partial = result.pairs_for_coverage(0.5)
+    assert 1 <= partial <= full <= result.static_pairs
+
+
+def test_pairs_for_coverage_zero_mis_speculations():
+    trace = trace_with_gap(10)
+    result = analyze_window(trace, 4)
+    assert result.pairs_for_coverage() == 0
+
+
+def test_pairs_for_coverage_rejects_bad_coverage():
+    trace = trace_with_gap(1)
+    result = analyze_window(trace, 64)
+    with pytest.raises(ValueError):
+        result.pairs_for_coverage(0)
+    with pytest.raises(ValueError):
+        result.pairs_for_coverage(1.5)
+
+
+def test_window_size_must_be_positive():
+    trace = trace_with_gap(1)
+    with pytest.raises(ValueError):
+        analyze_window(trace, 0)
+
+
+def test_few_pairs_dominate_mis_speculations():
+    """The paper's core empirical observation: most mis-speculations come
+    from few static pairs (Section 5.3)."""
+    trace = get_workload("compress").trace("test")
+    result = analyze_window(trace, 128)
+    assert result.mis_speculations > 100
+    needed = result.pairs_for_coverage(0.999)
+    static_pairs_total = result.static_pairs
+    assert needed <= static_pairs_total
+    # half the mis-speculations come from a handful of pairs
+    assert result.pairs_for_coverage(0.5) <= 4

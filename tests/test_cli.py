@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_workloads_listing(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("compress", "espresso", "tomcatv", "fpppp"):
+        assert name in out
+
+
+def test_trace_command(capsys):
+    assert main(["trace", "compress", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "summary:" in out
+    assert "dependences:" in out
+    assert "hottest static dependence pairs" in out
+
+
+def test_trace_streaming_workload_has_no_pairs(capsys):
+    assert main(["trace", "swim", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "hottest" not in out
+
+
+def test_simulate_command(capsys):
+    assert main(["simulate", "sc", "--scale", "tiny", "--policy", "esync", "-n", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out
+    assert "mis_speculations" in out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "xlisp", "--scale", "tiny", "-n", "4"]) == 0
+    out = capsys.readouterr().out
+    for policy in ("NEVER", "ALWAYS", "WAIT", "PSYNC", "SYNC", "ESYNC"):
+        assert policy in out
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "table4", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "table4" in out
+
+
+def test_experiment_bars_flag(capsys):
+    assert main(["experiment", "table2", "--bars", "latency (cycles)"]) == 0
+    out = capsys.readouterr().out
+    assert "#" in out
+    assert "each #" in out
+
+
+def test_experiment_bars_bad_column(capsys):
+    assert main(["experiment", "table2", "--bars", "nope"]) == 0
+    assert "not in" in capsys.readouterr().err
+
+
+def test_experiment_unknown_id(capsys):
+    assert main(["experiment", "table99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_bad_policy_rejected():
+    with pytest.raises(SystemExit):
+        main(["simulate", "sc", "--policy", "bogus"])
+
+
+def test_module_entry_point():
+    import repro.__main__  # noqa: F401  (importable without running)

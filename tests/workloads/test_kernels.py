@@ -1,0 +1,178 @@
+"""Behavioural tests for the synthetic kernels.
+
+Beyond "it runs", these check that each kernel actually produces the
+dependence signature its docstring claims — that is the property the
+whole reproduction rests on.
+"""
+
+import pytest
+
+from repro.workloads import all_workloads, get_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_traces():
+    """Interpret every registered workload once at tiny scale."""
+    return {w.name: w.trace("tiny") for w in all_workloads()}
+
+
+def test_every_workload_builds_and_validates():
+    for w in all_workloads():
+        program = w.program("tiny")
+        assert len(program) > 0
+        assert program.validate() is program
+
+
+def test_every_workload_runs_to_completion(tiny_traces):
+    for name, trace in tiny_traces.items():
+        assert len(trace) > 50, name
+        assert trace.count_tasks() > 1, name
+
+
+def test_builds_are_deterministic():
+    for w in all_workloads():
+        t1 = w.trace("tiny")
+        t2 = w.trace("tiny")
+        assert len(t1) == len(t2), w.name
+        assert [e.pc for e in t1] == [e.pc for e in t2], w.name
+        assert [e.addr for e in t1] == [e.addr for e in t2], w.name
+
+
+def test_scales_change_dynamic_size():
+    w = get_workload("sc")
+    assert len(w.trace("tiny")) < len(w.trace("test"))
+
+
+def test_compress_has_path_dependent_free_ent_recurrence(tiny_traces):
+    """The free_ent load must sometimes (not always) depend on an
+    in-window store — that is what makes compress SYNC-hostile."""
+    trace = tiny_traces["compress"]
+    producers = trace.load_producers()
+    # find the static load PC that reads globals+0 (free_ent)
+    by_pc = {}
+    for entry in trace.loads():
+        by_pc.setdefault(entry.pc, []).append(entry)
+    # free_ent loads: same static PC, always the same address
+    candidates = [
+        (pc, entries)
+        for pc, entries in by_pc.items()
+        if len({e.addr for e in entries}) == 1 and len(entries) > 10
+    ]
+    assert candidates, "no hot global loads found"
+    # among hot global loads, at least one has a mix of near and far producers
+    found_path_dependent = False
+    for _pc, entries in candidates:
+        distances = []
+        for e in entries:
+            producer = producers[e.seq]
+            if producer is not None:
+                distances.append(e.task_id - trace[producer].task_id)
+        if distances and len(set(distances)) > 2:
+            found_path_dependent = True
+    assert found_path_dependent
+
+
+def test_compress_miss_path_forms_distinct_tasks(tiny_traces):
+    trace = tiny_traces["compress"]
+    task_pcs = {e.task_pc for e in trace}
+    assert len(task_pcs) >= 3  # preamble + loop-header tasks + miss tasks
+
+
+def test_espresso_has_large_tasks(tiny_traces):
+    trace = tiny_traces["espresso"]
+    sizes = [len(s) for s in trace.task_slices()[1:-1]]
+    assert sizes and sum(sizes) / len(sizes) > 40
+
+
+def test_espresso_cover_recurrences_always_taken(tiny_traces):
+    trace = tiny_traces["espresso"]
+    producers = trace.load_producers()
+    # the four cover words are loaded and stored every row at fixed addresses
+    addr_loads = {}
+    for e in trace.loads():
+        addr_loads.setdefault(e.addr, []).append(e)
+    recurrent = [
+        entries
+        for addr, entries in addr_loads.items()
+        if len(entries) > 10
+        and all(producers[e.seq] is not None for e in entries[2:])
+    ]
+    assert len(recurrent) >= 4
+
+
+def test_gcc_has_many_static_dependence_pairs(tiny_traces):
+    trace = tiny_traces["gcc"]
+    pairs = set()
+    producers = trace.load_producers()
+    for load_seq, store_seq in producers.items():
+        if store_seq is not None:
+            pairs.add((trace[store_seq].pc, trace[load_seq].pc))
+    assert len(pairs) >= 8
+
+
+def test_sc_recurrence_distances(tiny_traces):
+    trace = tiny_traces["sc"]
+    producers = trace.load_producers()
+    distances = set()
+    for load_seq, store_seq in producers.items():
+        if store_seq is not None:
+            d = trace[load_seq].task_id - trace[store_seq].task_id
+            distances.add(d)
+    assert 1 in distances
+    assert 6 in distances  # the distance-k edge (k=6)
+
+
+def test_xlisp_freelist_recurrence_is_hot(tiny_traces):
+    """The two-arena allocator gives a hot distance-2 recurrence."""
+    trace = tiny_traces["xlisp"]
+    producers = trace.load_producers()
+    distance_two = 0
+    for load_seq, store_seq in producers.items():
+        if store_seq is not None:
+            if trace[load_seq].task_id - trace[store_seq].task_id == 2:
+                distance_two += 1
+    assert distance_two > len(trace.task_slices()) // 3
+
+
+def test_streaming_fp_kernels_have_no_true_dependences(tiny_traces):
+    for name in ("swim", "mgrid", "turb3d"):
+        trace = tiny_traces[name]
+        producers = trace.load_producers()
+        assert all(p is None for p in producers.values()), name
+
+
+def test_su2cor_static_pair_working_set_exceeds_tables(tiny_traces):
+    trace = tiny_traces["su2cor"]
+    producers = trace.load_producers()
+    pairs = {
+        (trace[s].pc, trace[l].pc)
+        for l, s in producers.items()
+        if s is not None
+    }
+    assert len(pairs) > 64  # larger than the default 64-entry MDPT
+
+
+def test_fpppp_tasks_are_very_large(tiny_traces):
+    trace = tiny_traces["fpppp"]
+    sizes = [len(s) for s in trace.task_slices()[1:-1]]
+    assert sizes and min(sizes) > 300
+
+
+def test_ijpeg_only_block_edge_dependences(tiny_traces):
+    trace = tiny_traces["ijpeg"]
+    producers = trace.load_producers()
+    cross_task = 0
+    for load_seq, store_seq in producers.items():
+        if store_seq is None:
+            continue
+        d = trace[load_seq].task_id - trace[store_seq].task_id
+        if d > 0:
+            cross_task += 1
+            assert d == 1  # only adjacent blocks communicate
+    assert cross_task > 0
+
+
+def test_renamed_archetypes_keep_their_names():
+    assert get_workload("gcc95").program("tiny").name == "gcc95"
+    assert get_workload("compress95").program("tiny").name == "compress95"
+    assert get_workload("li").program("tiny").name == "li"

@@ -1,0 +1,101 @@
+"""Behavioural tests for the microbenchmark suite: each kernel must
+exhibit exactly the phenomenon it isolates."""
+
+import pytest
+
+from repro.multiscalar import MultiscalarConfig, simulate, make_policy
+from repro.workloads import get_workload, suite
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {w.name: w.trace("tiny") for w in suite("micro")}
+
+
+def sim(trace, policy, stages=4):
+    return simulate(trace, MultiscalarConfig(stages=stages), make_policy(policy))
+
+
+def test_micro_suite_membership():
+    names = {w.name for w in suite("micro")}
+    assert names == {
+        "micro-independent",
+        "micro-recurrence-d1",
+        "micro-recurrence-d2",
+        "micro-recurrence-d4",
+        "micro-path-dependent",
+        "micro-multi-producer",
+        "micro-late-address",
+        "micro-pointer-chase",
+        "micro-conditional-reg",
+    }
+
+
+def test_independent_kernel_has_no_dependences(traces):
+    trace = traces["micro-independent"]
+    assert all(p is None for p in trace.load_producers().values())
+    # policies are indistinguishable without dependences
+    cycles = {p: sim(trace, p).cycles for p in ("always", "psync", "esync")}
+    assert max(cycles.values()) - min(cycles.values()) <= 2
+
+
+def test_recurrence_distances_are_exact(traces):
+    for d in (1, 2, 4):
+        trace = traces["micro-recurrence-d%d" % d]
+        distances = set()
+        producers = trace.load_producers()
+        for load_seq, store_seq in producers.items():
+            if store_seq is not None:
+                distances.add(trace[load_seq].task_id - trace[store_seq].task_id)
+        assert distances == {d}, d
+
+
+def test_recurrence_throughput_improves_with_distance(traces):
+    """A distance-d recurrence allows ~d tasks to overlap."""
+    c1 = sim(traces["micro-recurrence-d1"], "psync", stages=8).cycles
+    c4 = sim(traces["micro-recurrence-d4"], "psync", stages=8).cycles
+    assert c4 < c1
+
+
+def test_path_dependent_mechanism_beats_blind(traces):
+    trace = traces["micro-path-dependent"]
+    always = sim(trace, "always", stages=8)
+    sync = sim(trace, "sync", stages=8)
+    esync = sim(trace, "esync", stages=8)
+    assert sync.cycles < always.cycles
+    assert esync.cycles < always.cycles
+    # the two predictors stay close on this small kernel; ESYNC's win
+    # over SYNC needs the heavier path mix of the compress workload
+    assert esync.cycles <= sync.cycles * 1.1 + 5
+
+
+def test_multi_producer_pairs_learned(traces):
+    trace = traces["micro-multi-producer"]
+    producers = trace.load_producers()
+    pairs = {
+        (trace[s].pc, trace[l].pc)
+        for l, s in producers.items()
+        if s is not None
+    }
+    assert len(pairs) == 2  # two static producers for the one load
+    # the mechanism still synchronizes both edges
+    always = sim(trace, "always")
+    esync = sim(trace, "esync")
+    assert esync.mis_speculations <= max(2, always.mis_speculations // 3)
+
+
+def test_late_address_punishes_never_and_wait(traces):
+    trace = traces["micro-late-address"]
+    never = sim(trace, "never")
+    wait = sim(trace, "wait")
+    always = sim(trace, "always")
+    assert always.mis_speculations == 0  # there are no true dependences
+    assert always.cycles < never.cycles  # NEVER stalls on the late address
+    assert wait.cycles <= never.cycles + 2  # WAIT==free here: no deps predicted
+
+
+def test_pointer_chase_is_policy_insensitive(traces):
+    trace = traces["micro-pointer-chase"]
+    cycles = {p: sim(trace, p).cycles for p in ("never", "always", "psync")}
+    spread = max(cycles.values()) - min(cycles.values())
+    assert spread <= max(5, min(cycles.values()) // 20)

@@ -1,0 +1,68 @@
+"""Property tests for the random workload generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import RandomProgramConfig, generate_program, generate_trace
+
+configs = st.builds(
+    RandomProgramConfig,
+    tasks=st.integers(min_value=1, max_value=30),
+    body_ops=st.integers(min_value=0, max_value=10),
+    loads_per_task=st.integers(min_value=0, max_value=4),
+    stores_per_task=st.integers(min_value=0, max_value=4),
+    shared_words=st.integers(min_value=1, max_value=16),
+    branch_probability=st.floats(min_value=0.0, max_value=0.8),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(configs)
+def test_generated_programs_validate_and_terminate(config):
+    program = generate_program(config)
+    assert program.validate() is program
+    trace = generate_trace(config)
+    assert len(trace) > 0
+    assert trace.count_tasks() >= config.tasks
+
+
+@settings(max_examples=30, deadline=None)
+@given(configs)
+def test_generation_is_deterministic(config):
+    t1 = generate_trace(config)
+    t2 = generate_trace(config)
+    assert [e.pc for e in t1] == [e.pc for e in t2]
+    assert [e.addr for e in t1] == [e.addr for e in t2]
+
+
+@settings(max_examples=30, deadline=None)
+@given(configs)
+def test_memory_ops_match_config(config):
+    trace = generate_trace(config)
+    # each task body performs exactly the configured number of memory ops
+    slices = trace.task_slices()
+    for entries in slices[1:]:  # skip preamble
+        loads = sum(1 for e in entries if e.is_load)
+        stores = sum(1 for e in entries if e.is_store)
+        assert loads == config.loads_per_task
+        assert stores == config.stores_per_task
+
+
+def test_denser_sharing_creates_more_dependences():
+    dense = RandomProgramConfig(tasks=40, shared_words=1, seed=7,
+                                loads_per_task=2, stores_per_task=2)
+    sparse = RandomProgramConfig(tasks=40, shared_words=16, seed=7,
+                                 loads_per_task=2, stores_per_task=2)
+    def dependent_loads(cfg):
+        trace = generate_trace(cfg)
+        return sum(1 for p in trace.load_producers().values() if p is not None)
+    assert dependent_loads(dense) >= dependent_loads(sparse)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RandomProgramConfig(tasks=0)
+    with pytest.raises(ValueError):
+        RandomProgramConfig(shared_words=0)
