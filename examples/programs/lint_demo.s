@@ -1,0 +1,33 @@
+# A deliberately buggy program exercising the speculation linter
+# (repro.staticdep.lint).  Every flagged line is annotated with the
+# rule id the linter reports for it.
+#
+# Run it with:  python -m repro lint examples/programs/lint_demo.s
+# (exits non-zero: the misaligned offset and the negative constant
+# address are error-severity findings)
+
+.name lint-demo
+
+# four input words
+.word 0x1000 5 6 7 8
+
+    li   s1, 0x1000        # input base
+    li   s3, 0
+    li   s4, 4
+
+loop:                      # note: no .task markers -> no-task-marker (info)
+    addi s3, s3, 1
+    lw   t0, 3(s1)         # misaligned-offset (error): 3 is not word-aligned
+    add  t1, t0, s7        # unwritten-reg (warning): nothing ever writes s7
+    add  zero, t1, t0      # zero-reg-write (warning): result is discarded
+    sw   t1, -8(zero)      # negative-address (error): constant address -8
+    addi s1, s1, 4
+    blt  s3, s4, loop
+    j    end
+
+orphan:                    # unreachable-block (warning): nothing jumps here
+    addi t3, t3, 1
+
+end:
+    sw   t0, 0(s1)         # dead-store (warning): no load can observe it
+    halt

@@ -4,9 +4,11 @@
 Run:
     python examples/run_assembly.py examples/programs/histogram.s [stages]
 
-The script parses the file, interprets it, profiles its memory
-dependences, and then simulates it under every speculation policy on a
-Multiscalar processor.
+The script parses the file, lints it with the static dependence
+analyzer (rejecting error-severity findings — try it on
+examples/programs/lint_demo.s, which trips seven rules on purpose),
+interprets it, profiles its memory dependences, and then simulates it
+under every speculation policy on a Multiscalar processor.
 """
 
 import sys
@@ -16,6 +18,7 @@ from repro.frontend import analyze_trace, run_program
 from repro.isa import parse_file
 from repro.multiscalar import MultiscalarConfig, MultiscalarSimulator, make_policy
 from repro.oracle import profile_dependences
+from repro.staticdep import has_errors, lint_path
 
 POLICIES = ("never", "always", "wait", "psync", "sync", "esync")
 
@@ -25,6 +28,12 @@ def main():
         raise SystemExit(__doc__)
     path = sys.argv[1]
     stages = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    diagnostics = lint_path(path)
+    for diag in diagnostics:
+        print("lint:", diag)
+    if has_errors(diagnostics):
+        raise SystemExit("refusing to run a program with lint errors")
 
     program = parse_file(path)
     print("assembled %r: %d instructions" % (program.name, len(program)))

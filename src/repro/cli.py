@@ -8,21 +8,32 @@ Usage (also available as ``python -m repro``)::
     repro compare compress -n 8              # all six policies side by side
     repro experiment table3                  # regenerate a paper table
     repro experiment all --scale tiny        # every table and figure
+    repro staticdep compress                 # static pairs vs the oracle
+    repro lint examples/programs/histogram.s # speculation linter
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.core.stats import speedup
 from repro.experiments import ALL_EXPERIMENTS
-from repro.frontend import analyze_trace
-from repro.multiscalar import MultiscalarConfig, MultiscalarSimulator, make_policy
+from repro.frontend import analyze_trace, run_program
+from repro.multiscalar import (
+    MultiscalarConfig,
+    MultiscalarSimulator,
+    available_policies,
+    make_policy,
+)
 from repro.oracle import profile_dependences
 from repro.workloads import all_workloads, get_workload
 
-POLICIES = ("never", "always", "wait", "psync", "sync", "esync", "vsync", "storeset")
+#: Derived from the policy registry so new policies surface here
+#: automatically (order is the registry's presentation order).
+POLICIES = available_policies()
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -59,7 +70,44 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="COLUMN",
         help="additionally render COLUMN as a text bar chart",
     )
+
+    p_static = sub.add_parser(
+        "staticdep",
+        help="static dependence analysis, cross-checked against the oracle",
+    )
+    p_static.add_argument("target", help="workload name or assembly (.s) file")
+    p_static.add_argument("--scale", default="test")
+    p_static.add_argument("--top", type=int, default=5, help="pairs to display")
+    p_static.add_argument("--json", action="store_true", dest="as_json")
+
+    p_lint = sub.add_parser(
+        "lint", help="run the speculation linter over a program"
+    )
+    p_lint.add_argument("target", help="workload name or assembly (.s) file")
+    p_lint.add_argument("--scale", default="test")
+    p_lint.add_argument(
+        "--mdpt", type=int, default=64, metavar="ENTRIES",
+        help="MDPT capacity to check the static pair set against (default 64)",
+    )
+    p_lint.add_argument(
+        "--mdst", type=int, default=None, metavar="ENTRIES",
+        help="MDST capacity to check (default: unchecked)",
+    )
+    p_lint.add_argument("--json", action="store_true", dest="as_json")
     return parser
+
+
+def _is_assembly_path(target) -> bool:
+    return target.endswith(".s") or os.path.sep in target or os.path.exists(target)
+
+
+def _load_program(target, scale):
+    """Resolve a CLI target to a Program: a .s file or a workload name."""
+    if _is_assembly_path(target):
+        from repro.isa.parser import parse_file
+
+        return parse_file(target)
+    return get_workload(target).program(scale)
 
 
 def cmd_workloads(_args) -> int:
@@ -157,6 +205,107 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_staticdep(args) -> int:
+    from repro.staticdep import analyze_program, cross_check
+
+    try:
+        program = _load_program(args.target, args.scale)
+    except Exception as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    analysis = analyze_program(program)
+    result = cross_check(run_program(program), analysis)
+    if args.as_json:
+        payload = dict(analysis.summary())
+        payload.update(result.summary())
+        payload["pairs"] = [
+            {
+                "store_pc": p.store_pc,
+                "load_pc": p.load_pc,
+                "store_expr": str(p.store_expr),
+                "load_expr": str(p.load_expr),
+                "min_task_distance": p.min_task_distance,
+                "observed": p.pair in result.dynamic_pairs,
+            }
+            for p in analysis.pairs
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    print("static analysis:", analysis.summary())
+    print("vs dynamic oracle:", result.summary())
+    shown = sorted(
+        analysis.pairs,
+        key=lambda p: (p.pair not in result.dynamic_pairs, p.store_pc, p.load_pc),
+    )[: args.top]
+    if shown:
+        print("\nstatic candidate pairs (observed first):")
+        print(
+            "%-10s %-10s %-12s %-12s %9s %9s"
+            % ("store PC", "load PC", "store expr", "load expr", "min DIST", "observed")
+        )
+        for pair in shown:
+            print(
+                "%-10d %-10d %-12s %-12s %9s %9s"
+                % (
+                    pair.store_pc,
+                    pair.load_pc,
+                    pair.store_expr,
+                    pair.load_expr,
+                    "?" if pair.min_task_distance is None else pair.min_task_distance,
+                    "yes" if pair.pair in result.dynamic_pairs else "no",
+                )
+            )
+    if not result.sound:
+        print(
+            "UNSOUND: dynamic pairs missing from the static set: %s"
+            % sorted(result.missed_pairs),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.staticdep import has_errors, lint_path, lint_program
+
+    try:
+        if _is_assembly_path(args.target):
+            diagnostics = lint_path(
+                args.target, mdpt_capacity=args.mdpt, mdst_capacity=args.mdst
+            )
+            name = args.target
+        else:
+            program = get_workload(args.target).program(args.scale)
+            diagnostics = lint_program(
+                program, mdpt_capacity=args.mdpt, mdst_capacity=args.mdst
+            )
+            name = program.name
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "target": name,
+                    "errors": sum(d.is_error for d in diagnostics),
+                    "diagnostics": [d.to_dict() for d in diagnostics],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for diag in diagnostics:
+            print("%s: %s" % (name, diag))
+        errors = sum(d.is_error for d in diagnostics)
+        warnings = sum(d.severity == "warning" for d in diagnostics)
+        print(
+            "%s: %d error(s), %d warning(s), %d finding(s) total"
+            % (name, errors, warnings, len(diagnostics))
+        )
+    return 1 if has_errors(diagnostics) else 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {
@@ -165,8 +314,15 @@ def main(argv=None) -> int:
         "simulate": cmd_simulate,
         "compare": cmd_compare,
         "experiment": cmd_experiment,
+        "staticdep": cmd_staticdep,
+        "lint": cmd_lint,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into head); not an error
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":

@@ -7,6 +7,7 @@ from repro.experiments.figures import (
     figure7_spec95_speedups,
 )
 from repro.experiments.results import ExperimentTable
+from repro.experiments.staticdep import staticdep_coverage
 from repro.experiments.sweeps import SweepPoint, SweepResult, sweep
 from repro.experiments.tables import (
     RecordingAlwaysPolicy,
@@ -37,6 +38,7 @@ ALL_EXPERIMENTS = {
     "figure6": figure6_mechanism_speedups,
     "figure7": figure7_spec95_speedups,
     "window-scaling": extension_window_scaling,
+    "staticdep": staticdep_coverage,
 }
 
 __all__ = [
@@ -46,6 +48,7 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "extension_window_scaling",
+    "staticdep_coverage",
     "sweep",
     "table2_fu_latencies",
     "figure5_policy_speedups",

@@ -8,7 +8,7 @@ reports, which the test suite asserts.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.experiments.results import ExperimentTable
 from repro.multiscalar import MultiscalarConfig, MultiscalarSimulator, make_policy

@@ -9,10 +9,10 @@ basic-block and task size distributions, memory footprint).
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
-from repro.isa.opcodes import FUClass, is_conditional_branch, is_control
+from repro.isa.opcodes import is_conditional_branch, is_control
 
 
 @dataclass

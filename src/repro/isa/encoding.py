@@ -29,7 +29,7 @@ import struct
 
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode, is_control
-from repro.isa.program import Program, ProgramError
+from repro.isa.program import Program
 
 #: sentinel for "no register" in the 6-bit fields
 _NO_REG = 0x3F

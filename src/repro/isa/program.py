@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode, is_control

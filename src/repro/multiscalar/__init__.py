@@ -17,6 +17,7 @@ from repro.multiscalar.policies import (
     StoreSetPolicy,
     ValueSyncPolicy,
     WaitPolicy,
+    available_policies,
     make_policy,
 )
 from repro.multiscalar.processor import (
@@ -44,6 +45,7 @@ __all__ = [
     "ValueSyncPolicy",
     "ViolationRecord",
     "WaitPolicy",
+    "available_policies",
     "eight_stage",
     "four_stage",
     "make_policy",

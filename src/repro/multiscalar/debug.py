@@ -8,8 +8,8 @@ wins or loses on a workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.multiscalar.policies import SpeculationPolicy
 from repro.multiscalar.processor import MultiscalarSimulator

@@ -479,29 +479,47 @@ class StoreSetPolicy(SpeculationPolicy):
                     self._wait_for[seq] = dep
 
 
+#: Canonical policy name -> factory, in the order the CLI and the
+#: comparison harness present them (NEVER first: it is the speedup
+#: baseline everywhere).
+POLICY_FACTORIES = {
+    "never": NeverPolicy,
+    "always": AlwaysPolicy,
+    "wait": WaitPolicy,
+    "psync": PerfectSyncPolicy,
+    "sync": lambda **kw: MechanismPolicy(predictor="sync", **kw),
+    "esync": lambda **kw: MechanismPolicy(predictor="esync", **kw),
+    "vsync": ValueSyncPolicy,
+    "storeset": StoreSetPolicy,
+}
+
+#: Accepted non-canonical spellings (variants kept out of sweeps).
+POLICY_ALIASES = {
+    "always-sync": lambda **kw: MechanismPolicy(predictor="always", **kw),
+}
+
+
+def available_policies():
+    """Canonical policy names, in presentation order.
+
+    The CLI derives its ``--policy`` choices and comparison column set
+    from this, so registering a policy here is all it takes to surface
+    it everywhere.
+    """
+    return tuple(POLICY_FACTORIES)
+
+
 def make_policy(name, **kwargs) -> SpeculationPolicy:
     """Policy factory.
 
-    Accepted names: "never", "always", "wait", "psync", the mechanism
-    predictors "sync", "esync", "always-sync" (MDPT/MDST with the
-    always-synchronize predictor), and "vsync" (the Section 6 hybrid:
-    value-predict dependence-likely loads).
+    Accepted names: everything in :func:`available_policies` — "never",
+    "always", "wait", "psync", the mechanism predictors "sync" and
+    "esync", "vsync" (the Section 6 hybrid: value-predict
+    dependence-likely loads), "storeset" — plus the alias "always-sync"
+    (MDPT/MDST with the always-synchronize predictor).
     """
     lowered = name.lower()
-    simple = {
-        "never": NeverPolicy,
-        "always": AlwaysPolicy,
-        "wait": WaitPolicy,
-        "psync": PerfectSyncPolicy,
-    }
-    if lowered in simple:
-        return simple[lowered]()
-    if lowered in ("sync", "esync"):
-        return MechanismPolicy(predictor=lowered, **kwargs)
-    if lowered == "always-sync":
-        return MechanismPolicy(predictor="always", **kwargs)
-    if lowered == "vsync":
-        return ValueSyncPolicy(**kwargs)
-    if lowered == "storeset":
-        return StoreSetPolicy(**kwargs)
-    raise ValueError("unknown policy %r" % (name,))
+    factory = POLICY_FACTORIES.get(lowered) or POLICY_ALIASES.get(lowered)
+    if factory is None:
+        raise ValueError("unknown policy %r" % (name,))
+    return factory(**kwargs)

@@ -1,0 +1,69 @@
+"""Static dependence analysis and the speculation linter.
+
+The dynamic machinery elsewhere in the reproduction *discovers*
+dependences by running programs; this package *predicts* them from the
+program text alone: a CFG builder (:mod:`repro.staticdep.cfg`), a
+conservative reaching-stores dataflow producing the static candidate
+pair set (:mod:`repro.staticdep.reaching`), a cross-checker that scores
+that set against the dynamic oracle (:mod:`repro.staticdep.checker`),
+and a diagnostics engine (:mod:`repro.staticdep.lint`).
+"""
+
+from repro.staticdep.analysis import StaticDependenceAnalysis, analyze_program
+from repro.staticdep.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.staticdep.checker import (
+    CrossCheckResult,
+    check_suite,
+    cross_check,
+    cross_check_workload,
+)
+from repro.staticdep.lint import (
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    has_errors,
+    lint_config,
+    lint_labels,
+    lint_path,
+    lint_program,
+    lint_source,
+    sort_diagnostics,
+)
+from repro.staticdep.reaching import (
+    AccessExpr,
+    ReachingStores,
+    StaticPair,
+    StoreFact,
+    access_expr,
+    may_alias,
+)
+
+__all__ = [
+    "AccessExpr",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "CrossCheckResult",
+    "Diagnostic",
+    "ERROR",
+    "INFO",
+    "ReachingStores",
+    "StaticDependenceAnalysis",
+    "StaticPair",
+    "StoreFact",
+    "WARNING",
+    "access_expr",
+    "analyze_program",
+    "build_cfg",
+    "check_suite",
+    "cross_check",
+    "cross_check_workload",
+    "has_errors",
+    "lint_config",
+    "lint_labels",
+    "lint_path",
+    "lint_program",
+    "lint_source",
+    "may_alias",
+    "sort_diagnostics",
+]

@@ -1,0 +1,255 @@
+"""Control-flow graph construction for assembled programs.
+
+A :class:`ControlFlowGraph` partitions a
+:class:`~repro.isa.program.Program` into maximal basic blocks and links
+them with successor/predecessor edges derived from the ISA's
+control-flow predicates (:mod:`repro.isa.opcodes`).  The graph is the
+substrate for every static analysis in :mod:`repro.staticdep`: the
+reaching-stores dataflow walks its edges, the linter reports blocks it
+cannot reach, and static dependence distances are path lengths over it.
+
+Edge policy per opcode class:
+
+* conditional branches (``beq`` .. ``bgt``) — taken target plus
+  fall-through;
+* ``j``/``jal`` — the target only (``jal`` also records a *return
+  site*, the instruction after the jump);
+* ``jr`` — statically unknown.  When it jumps through ``ra`` and only
+  ``jal`` ever writes ``ra``, the targets are the recorded return
+  sites.  Otherwise it is a computed jump (e.g. through a jump table),
+  and the conservative target set is every labeled instruction plus
+  every return site — indirect branch targets are assumed to be label
+  PCs, which is how the assembler and workloads materialize them;
+* ``halt`` — no successors (program exit).
+
+The conservative ``jr`` rule keeps the reaching-stores analysis sound
+(no feasible path is missing from the graph) at the cost of spurious
+edges between unrelated call sites.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.isa.opcodes import Opcode, is_conditional_branch, is_control
+from repro.isa.program import Program
+from repro.isa.registers import ZERO, parse_register
+
+
+def _writes_register(inst, reg: int) -> bool:
+    """True when *inst* architecturally writes register *reg*."""
+    if inst.op is Opcode.SW or reg == ZERO:
+        return False
+    return inst.rd == reg
+
+
+class BasicBlock:
+    """A maximal straight-line instruction sequence.
+
+    Attributes:
+        index: position of this block in program order (block id).
+        start: PC of the first instruction.
+        end: PC one past the last instruction.
+        successors: block ids control may flow to next.
+        predecessors: block ids control may arrive from.
+    """
+
+    __slots__ = ("index", "start", "end", "successors", "predecessors")
+
+    def __init__(self, index: int, start: int, end: int):
+        self.index = index
+        self.start = start
+        self.end = end
+        self.successors: List[int] = []
+        self.predecessors: List[int] = []
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def pcs(self) -> range:
+        """PCs of the instructions in this block, in order."""
+        return range(self.start, self.end)
+
+    def __repr__(self) -> str:
+        return "BasicBlock(#%d, pc %d..%d, succ=%r)" % (
+            self.index,
+            self.start,
+            self.end - 1,
+            self.successors,
+        )
+
+
+class ControlFlowGraph:
+    """Basic blocks plus edges for one program."""
+
+    def __init__(self, program: Program, blocks: List[BasicBlock]):
+        self.program = program
+        self.blocks = blocks
+        self._block_of_pc: Dict[int, int] = {}
+        for block in blocks:
+            for pc in block.pcs():
+                self._block_of_pc[pc] = block.index
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    def block_at(self, pc: int) -> BasicBlock:
+        """The block containing instruction *pc*."""
+        return self.blocks[self._block_of_pc[pc]]
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        return self.block_at(self.program.entry)
+
+    def instruction_successors(self, pc: int) -> List[int]:
+        """PCs execution may reach immediately after instruction *pc*."""
+        block = self.block_at(pc)
+        if pc + 1 < block.end:
+            return [pc + 1]
+        return [self.blocks[succ].start for succ in block.successors]
+
+    def reachable_blocks(self) -> List[int]:
+        """Block ids reachable from the program entry, in BFS order."""
+        seen = {self.entry_block.index}
+        order = [self.entry_block.index]
+        frontier = [self.entry_block.index]
+        while frontier:
+            next_frontier = []
+            for index in frontier:
+                for succ in self.blocks[index].successors:
+                    if succ not in seen:
+                        seen.add(succ)
+                        order.append(succ)
+                        next_frontier.append(succ)
+            frontier = next_frontier
+        return order
+
+    def unreachable_blocks(self) -> List[BasicBlock]:
+        """Blocks no path from the entry reaches."""
+        reachable = set(self.reachable_blocks())
+        return [b for b in self.blocks if b.index not in reachable]
+
+    def min_task_distance(self, src_pc: int, dst_pc: int) -> Optional[int]:
+        """Minimum task-entry crossings on any path *after* ``src_pc`` to
+        ``dst_pc``, or None when no path exists.
+
+        This is the static analogue of the MDPT's DIST tag: the fewest
+        Multiscalar task boundaries a value forwarded from the
+        instruction at ``src_pc`` must cross before the instruction at
+        ``dst_pc`` can consume it.  Computed with 0-1 BFS over the
+        instruction-level successor relation, where entering a
+        ``task_begin`` instruction costs 1.
+        """
+        program = self.program
+        best: Dict[int, int] = {}
+        # deque-based 0-1 BFS; start from the successors of src so a
+        # store reaching "itself" around a loop is a real cycle.
+        queue: Deque[Tuple[int, int]] = deque()
+        for succ in self.instruction_successors(src_pc):
+            cost = 1 if program[succ].task_entry else 0
+            if succ not in best or cost < best[succ]:
+                best[succ] = cost
+                if cost:
+                    queue.append((succ, cost))
+                else:
+                    queue.appendleft((succ, cost))
+        while queue:
+            pc, cost = queue.popleft()
+            if cost > best.get(pc, cost):
+                continue
+            if pc == dst_pc:
+                return cost
+            for succ in self.instruction_successors(pc):
+                step = 1 if program[succ].task_entry else 0
+                new_cost = cost + step
+                if succ not in best or new_cost < best[succ]:
+                    best[succ] = new_cost
+                    if step:
+                        queue.append((succ, new_cost))
+                    else:
+                        queue.appendleft((succ, new_cost))
+        return best.get(dst_pc)
+
+    def to_dot(self) -> str:
+        """Render the graph in Graphviz dot syntax (debug aid)."""
+        lines = ["digraph %s {" % (self.program.name.replace("-", "_") or "cfg")]
+        for block in self.blocks:
+            label = "B%d\\npc %d..%d" % (block.index, block.start, block.end - 1)
+            lines.append('  B%d [shape=box, label="%s"];' % (block.index, label))
+            for succ in block.successors:
+                lines.append("  B%d -> B%d;" % (block.index, succ))
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _leaders(program: Program) -> List[int]:
+    leaders = {program.entry, 0}
+    for pc, inst in enumerate(program):
+        if is_control(inst.op):
+            if inst.target is not None:
+                leaders.add(inst.target)
+            if pc + 1 < len(program):
+                leaders.add(pc + 1)
+    return sorted(leaders)
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Partition *program* into basic blocks and connect them."""
+    leaders = _leaders(program)
+    blocks: List[BasicBlock] = []
+    for i, start in enumerate(leaders):
+        end = leaders[i + 1] if i + 1 < len(leaders) else len(program)
+        blocks.append(BasicBlock(len(blocks), start, end))
+
+    block_of_pc: Dict[int, int] = {}
+    for block in blocks:
+        for pc in block.pcs():
+            block_of_pc[pc] = block.index
+
+    return_sites = [
+        inst.pc + 1
+        for inst in program
+        if inst.op is Opcode.JAL and inst.pc + 1 < len(program)
+    ]
+    # Targets for computed jumps: every labeled instruction.  A `jr`
+    # through a register other than a jal-maintained `ra` may go to any
+    # of them.
+    label_targets = sorted(set(program.labels.values()))
+    ra = parse_register("ra")
+    ra_is_pure_link = not any(
+        inst.op is not Opcode.JAL and _writes_register(inst, ra) for inst in program
+    )
+
+    for block in blocks:
+        last = program[block.end - 1]
+        targets: List[int] = []
+        if is_conditional_branch(last.op):
+            if last.target is not None:
+                targets.append(last.target)
+            if block.end < len(program):
+                targets.append(block.end)
+        elif last.op in (Opcode.J, Opcode.JAL):
+            if last.target is not None:
+                targets.append(last.target)
+        elif last.op is Opcode.JR:
+            if last.rs1 == ra and ra_is_pure_link:
+                targets.extend(return_sites)
+            else:
+                targets.extend(sorted(set(label_targets) | set(return_sites)))
+        elif last.op is Opcode.HALT:
+            pass
+        else:
+            # fall through into the next leader
+            if block.end < len(program):
+                targets.append(block.end)
+        for target in targets:
+            succ = block_of_pc[target]
+            if succ not in block.successors:
+                block.successors.append(succ)
+                blocks[succ].predecessors.append(block.index)
+
+    return ControlFlowGraph(program, blocks)

@@ -1,0 +1,387 @@
+"""The speculation linter: structural diagnostics for programs and
+speculation configs.
+
+Every rule emits :class:`Diagnostic` records rather than raising, so a
+single run reports everything wrong at once.  Severities follow the
+usual compiler convention — ``error`` findings mean the program (or the
+config) will misbehave and make ``repro lint`` exit non-zero; warnings
+flag likely mistakes; infos are advisory.
+
+Rule catalogue (stable ids, referenced from the docs):
+
+=====================  ========  ==================================================
+rule id                severity  finding
+=====================  ========  ==================================================
+``undefined-label``    error     a control instruction targets a label no line defines
+``duplicate-label``    error     the same label is defined on two lines
+``parse-error``        error     the source does not assemble at all
+``misaligned-offset``  error     a memory offset is not word-aligned
+``negative-address``   error     a constant (zero-base) access has a negative address
+``unreachable-block``  warning   no path from the entry reaches a basic block
+``zero-reg-write``     warning   an instruction writes the hard-wired zero register
+``unwritten-reg``      warning   an instruction reads a register nothing ever writes
+``dead-store``         warning   a store provably observed by no load
+``mdpt-undersized``    warning   the MDPT cannot hold the program's static pair set
+``mdst-undersized``    warning   the MDST cannot hold the in-flight pair instances
+``no-task-marker``     info      the program defines no Multiscalar tasks
+=====================  ========  ==================================================
+
+Entry points: :func:`lint_program` for assembled programs,
+:func:`lint_source` for assembly text (adds the source-level label
+rules that cannot survive assembly), and :func:`lint_config` for
+speculation-hardware capacity checks.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program, ProgramError
+from repro.isa.registers import ZERO, register_name
+from repro.staticdep.analysis import StaticDependenceAnalysis, analyze_program
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding."""
+
+    severity: str
+    rule_id: str
+    pc: Optional[int]
+    message: str
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "severity": self.severity,
+            "rule": self.rule_id,
+            "pc": self.pc,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        where = "pc %d" % self.pc if self.pc is not None else "program"
+        return "%s [%s] %s: %s" % (self.severity, self.rule_id, where, self.message)
+
+
+def sort_diagnostics(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+    """Order findings by severity, then location."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            _SEVERITY_ORDER.get(d.severity, 9),
+            d.pc if d.pc is not None else -1,
+            d.rule_id,
+        ),
+    )
+
+
+def has_errors(diagnostics: Sequence[Diagnostic]) -> bool:
+    return any(d.is_error for d in diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# program-level rules (each takes the program + shared analysis)
+# ---------------------------------------------------------------------------
+
+
+def _rule_unreachable_blocks(analysis: StaticDependenceAnalysis) -> List[Diagnostic]:
+    out = []
+    for block in analysis.cfg.unreachable_blocks():
+        out.append(
+            Diagnostic(
+                WARNING,
+                "unreachable-block",
+                block.start,
+                "basic block at pc %d..%d is unreachable from the entry"
+                % (block.start, block.end - 1),
+            )
+        )
+    return out
+
+
+def _rule_zero_register_writes(analysis: StaticDependenceAnalysis) -> List[Diagnostic]:
+    out = []
+    for inst in analysis.program:
+        if inst.op is Opcode.SW or inst.rd is None:
+            continue
+        if inst.rd == ZERO:
+            out.append(
+                Diagnostic(
+                    WARNING,
+                    "zero-reg-write",
+                    inst.pc,
+                    "%s writes the hard-wired zero register; the result is discarded"
+                    % (inst.op.value,),
+                )
+            )
+    return out
+
+
+def _rule_unwritten_registers(analysis: StaticDependenceAnalysis) -> List[Diagnostic]:
+    written: Set[int] = {ZERO}
+    for inst in analysis.program:
+        if inst.op is Opcode.SW:
+            continue
+        if inst.rd is not None:
+            written.add(inst.rd)
+    out = []
+    for inst in analysis.program:
+        for src in inst.sources():
+            if src not in written:
+                out.append(
+                    Diagnostic(
+                        WARNING,
+                        "unwritten-reg",
+                        inst.pc,
+                        "%s reads %s, which no instruction ever writes "
+                        "(value is always 0)" % (inst.op.value, register_name(src)),
+                    )
+                )
+    return out
+
+
+def _rule_misaligned_offsets(analysis: StaticDependenceAnalysis) -> List[Diagnostic]:
+    out = []
+    for inst in analysis.program:
+        if inst.is_memory and inst.imm % 4 != 0:
+            out.append(
+                Diagnostic(
+                    ERROR,
+                    "misaligned-offset",
+                    inst.pc,
+                    "%s offset %d is not word-aligned" % (inst.op.value, inst.imm),
+                )
+            )
+    return out
+
+
+def _rule_negative_addresses(analysis: StaticDependenceAnalysis) -> List[Diagnostic]:
+    out = []
+    for inst in analysis.program:
+        if inst.is_memory and inst.rs1 == ZERO and inst.imm < 0:
+            out.append(
+                Diagnostic(
+                    ERROR,
+                    "negative-address",
+                    inst.pc,
+                    "%s accesses constant address %d, which is negative"
+                    % (inst.op.value, inst.imm),
+                )
+            )
+    return out
+
+
+def _rule_dead_stores(analysis: StaticDependenceAnalysis) -> List[Diagnostic]:
+    out = []
+    for pc in analysis.dead_stores():
+        out.append(
+            Diagnostic(
+                WARNING,
+                "dead-store",
+                pc,
+                "store at pc %d is provably never observed by any load" % pc,
+            )
+        )
+    return out
+
+
+def _rule_no_task_marker(analysis: StaticDependenceAnalysis) -> List[Diagnostic]:
+    if analysis.program.task_entries():
+        return []
+    return [
+        Diagnostic(
+            INFO,
+            "no-task-marker",
+            None,
+            "program defines no tasks (.task); the Multiscalar model will "
+            "run it as a single task with no cross-task speculation",
+        )
+    ]
+
+
+_PROGRAM_RULES = (
+    _rule_unreachable_blocks,
+    _rule_zero_register_writes,
+    _rule_unwritten_registers,
+    _rule_misaligned_offsets,
+    _rule_negative_addresses,
+    _rule_dead_stores,
+    _rule_no_task_marker,
+)
+
+
+def lint_program(
+    program: Program,
+    analysis: Optional[StaticDependenceAnalysis] = None,
+    mdpt_capacity: Optional[int] = None,
+    mdst_capacity: Optional[int] = None,
+) -> List[Diagnostic]:
+    """Run every program-level rule; optionally the capacity rules too."""
+    if analysis is None:
+        analysis = analyze_program(program)
+    diagnostics: List[Diagnostic] = []
+    for rule in _PROGRAM_RULES:
+        diagnostics.extend(rule(analysis))
+    if mdpt_capacity is not None or mdst_capacity is not None:
+        diagnostics.extend(
+            lint_config(
+                analysis, mdpt_capacity=mdpt_capacity, mdst_capacity=mdst_capacity
+            )
+        )
+    return sort_diagnostics(diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# config rules
+# ---------------------------------------------------------------------------
+
+
+def lint_config(
+    analysis: StaticDependenceAnalysis,
+    mdpt_capacity: Optional[int] = None,
+    mdst_capacity: Optional[int] = None,
+) -> List[Diagnostic]:
+    """Check MDPT/MDST capacities against the program's static pair set.
+
+    An MDPT smaller than the static candidate set thrashes: by the time
+    a pair's dynamic instance recurs, LRU replacement may have evicted
+    the entry that predicted it, so the mechanism re-learns dependences
+    it already paid a mis-speculation to discover.
+    """
+    pair_count = len(analysis.pair_set)
+    out = []
+    if mdpt_capacity is not None and pair_count > mdpt_capacity:
+        out.append(
+            Diagnostic(
+                WARNING,
+                "mdpt-undersized",
+                None,
+                "MDPT capacity %d cannot hold the %d static candidate pairs; "
+                "expect prediction-table thrashing" % (mdpt_capacity, pair_count),
+            )
+        )
+    if mdst_capacity is not None and pair_count > mdst_capacity:
+        out.append(
+            Diagnostic(
+                WARNING,
+                "mdst-undersized",
+                None,
+                "MDST capacity %d is below the %d static candidate pairs; "
+                "simultaneous instances will contend for synchronization slots"
+                % (mdst_capacity, pair_count),
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# source-level rules
+# ---------------------------------------------------------------------------
+
+_LABEL_DEF_RE = re.compile(r"^\s*([A-Za-z_][\w.$]*):\s*$")
+_BRANCH_MNEMONICS = {"beq", "bne", "blt", "bge", "ble", "bgt"}
+_JUMP_MNEMONICS = {"j", "jal"}
+
+
+def _scan_labels(source: str):
+    """Collect label definitions and references from assembly text."""
+    defined: Dict[str, List[int]] = {}
+    referenced: Dict[str, List[int]] = {}
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = re.split(r"[#;]", raw, maxsplit=1)[0].strip()
+        if not line:
+            continue
+        match = _LABEL_DEF_RE.match(line)
+        if match:
+            defined.setdefault(match.group(1), []).append(lineno)
+            continue
+        head, _, rest = line.partition(" ")
+        mnemonic = head.lower()
+        operands = [part.strip() for part in rest.split(",") if part.strip()]
+        if mnemonic in _JUMP_MNEMONICS and operands:
+            referenced.setdefault(operands[-1], []).append(lineno)
+        elif mnemonic in _BRANCH_MNEMONICS and len(operands) == 3:
+            referenced.setdefault(operands[-1], []).append(lineno)
+    return defined, referenced
+
+
+def lint_labels(source: str) -> List[Diagnostic]:
+    """Source-level label rules (these cannot survive assembly, which
+    refuses undefined or duplicate labels outright)."""
+    defined, referenced = _scan_labels(source)
+    out = []
+    for label, linenos in sorted(defined.items()):
+        if len(linenos) > 1:
+            out.append(
+                Diagnostic(
+                    ERROR,
+                    "duplicate-label",
+                    None,
+                    "label %r defined on lines %s"
+                    % (label, ", ".join(str(n) for n in linenos)),
+                )
+            )
+    for label, linenos in sorted(referenced.items()):
+        if label not in defined:
+            out.append(
+                Diagnostic(
+                    ERROR,
+                    "undefined-label",
+                    None,
+                    "label %r referenced on line %d but never defined"
+                    % (label, linenos[0]),
+                )
+            )
+    return out
+
+
+def lint_source(
+    source: str,
+    name: str = "program",
+    mdpt_capacity: Optional[int] = None,
+    mdst_capacity: Optional[int] = None,
+) -> List[Diagnostic]:
+    """Lint assembly text: label rules, then (when it assembles) every
+    program rule.  A source that fails to assemble for a reason the
+    label rules did not already explain gets a ``parse-error``."""
+    from repro.isa.parser import parse_assembly
+
+    diagnostics = list(lint_labels(source))
+    try:
+        program = parse_assembly(source, name=name)
+    except ProgramError as exc:
+        if not diagnostics:
+            diagnostics.append(Diagnostic(ERROR, "parse-error", None, str(exc)))
+        return sort_diagnostics(diagnostics)
+    diagnostics.extend(
+        lint_program(
+            program, mdpt_capacity=mdpt_capacity, mdst_capacity=mdst_capacity
+        )
+    )
+    return sort_diagnostics(diagnostics)
+
+
+def lint_path(
+    path: str,
+    mdpt_capacity: Optional[int] = None,
+    mdst_capacity: Optional[int] = None,
+) -> List[Diagnostic]:
+    """Lint an assembly source file."""
+    with open(path) as fh:
+        source = fh.read()
+    return lint_source(
+        source, name=path, mdpt_capacity=mdpt_capacity, mdst_capacity=mdst_capacity
+    )

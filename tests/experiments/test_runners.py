@@ -39,7 +39,7 @@ def fig6():
 def test_registry_is_complete():
     expected = {"table%d" % i for i in (1, 2, 3, 4, 5, 6, 7, 8, 9)}
     expected |= {"figure%d" % i for i in (5, 6, 7)}
-    expected |= {"window-scaling"}
+    expected |= {"window-scaling", "staticdep"}
     assert set(ALL_EXPERIMENTS) == expected
 
 

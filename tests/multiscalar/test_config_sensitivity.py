@@ -1,8 +1,6 @@
 """Configuration-sensitivity tests: the timing model must respond to
 each machine parameter in the physically sensible direction."""
 
-import pytest
-
 from repro.frontend import run_program
 from repro.isa import Assembler
 from repro.isa.opcodes import FUClass

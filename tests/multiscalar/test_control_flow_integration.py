@@ -1,8 +1,6 @@
 """Integration tests: the simulator on programs with non-loop control
 flow (calls across tasks, irregular task graphs, nested loops)."""
 
-import pytest
-
 from repro.frontend import run_program
 from repro.isa import Assembler
 from repro.multiscalar import MultiscalarConfig, simulate, make_policy

@@ -1,7 +1,5 @@
 """Tests for the Multiscalar timing simulator."""
 
-import pytest
-
 from repro.frontend import run_program
 from repro.isa import Assembler
 from repro.multiscalar import (

@@ -1,7 +1,5 @@
 """Integration tests for the store-set policy on the timing simulator."""
 
-import pytest
-
 from repro.multiscalar import MultiscalarConfig, simulate, make_policy
 from repro.multiscalar.policies import StoreSetPolicy
 from repro.workloads import get_workload

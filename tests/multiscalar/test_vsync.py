@@ -1,8 +1,6 @@
 """Tests for the VSYNC hybrid policy (value-predict dependence-likely
 loads, paper Section 6)."""
 
-import pytest
-
 from repro.multiscalar import MultiscalarConfig, simulate, make_policy
 from repro.multiscalar.policies import ValueSyncPolicy
 from repro.workloads import get_workload

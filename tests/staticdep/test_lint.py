@@ -1,0 +1,160 @@
+"""One test per lint rule, plus clean-program and config checks."""
+
+from repro.isa.assembler import Assembler
+from repro.isa.parser import parse_file
+from repro.staticdep import (
+    analyze_program,
+    has_errors,
+    lint_config,
+    lint_labels,
+    lint_path,
+    lint_program,
+    lint_source,
+)
+
+HISTOGRAM = "examples/programs/histogram.s"
+LINT_DEMO = "examples/programs/lint_demo.s"
+
+
+def rules_of(diagnostics):
+    return {d.rule_id for d in diagnostics}
+
+
+def minimal(body):
+    """Assemble a one-task loop around *body* for rule isolation."""
+    a = Assembler("t")
+    a.li("s1", 0x100)
+    body(a)
+    a.halt()
+    return a.assemble()
+
+
+def test_clean_program_has_no_findings():
+    program = minimal(lambda a: (a.sw("s1", "s1", 0), a.lw("t0", "s1", 0)))
+    assert rules_of(lint_program(program)) <= {"no-task-marker"}
+
+
+def test_unreachable_block_rule():
+    a = Assembler("t")
+    a.j("end")
+    a.label("orphan")
+    a.nop()
+    a.label("end")
+    a.halt()
+    assert "unreachable-block" in rules_of(lint_program(a.assemble()))
+
+
+def test_zero_reg_write_rule():
+    program = minimal(lambda a: a.add("zero", "s1", "s1"))
+    diags = [d for d in lint_program(program) if d.rule_id == "zero-reg-write"]
+    assert len(diags) == 1 and diags[0].severity == "warning"
+
+
+def test_unwritten_reg_rule():
+    program = minimal(lambda a: a.add("t1", "s1", "s7"))
+    diags = [d for d in lint_program(program) if d.rule_id == "unwritten-reg"]
+    assert len(diags) == 1
+    assert "s7" in diags[0].message
+
+
+def test_misaligned_offset_rule_is_error():
+    program = minimal(lambda a: a.lw("t0", "s1", 3))
+    diags = [d for d in lint_program(program) if d.rule_id == "misaligned-offset"]
+    assert len(diags) == 1 and diags[0].is_error
+    assert has_errors(lint_program(program))
+
+
+def test_negative_address_rule_is_error():
+    program = minimal(lambda a: a.sw("s1", "zero", -8))
+    diags = [d for d in lint_program(program) if d.rule_id == "negative-address"]
+    assert len(diags) == 1 and diags[0].is_error
+
+
+def test_dead_store_rule():
+    program = minimal(lambda a: a.sw("s1", "s1", 0))
+    assert "dead-store" in rules_of(lint_program(program))
+
+
+def test_observed_store_not_flagged_dead():
+    program = minimal(lambda a: (a.sw("s1", "s1", 0), a.lw("t0", "s1", 0)))
+    assert "dead-store" not in rules_of(lint_program(program))
+
+
+def test_no_task_marker_rule_is_info():
+    program = minimal(lambda a: a.nop())
+    diags = [d for d in lint_program(program) if d.rule_id == "no-task-marker"]
+    assert len(diags) == 1 and diags[0].severity == "info"
+
+
+def test_task_marker_silences_info():
+    a = Assembler("t")
+    a.task_begin()
+    a.li("s1", 0x100)
+    a.halt()
+    assert "no-task-marker" not in rules_of(lint_program(a.assemble()))
+
+
+def test_mdpt_capacity_rule():
+    program = parse_file(HISTOGRAM)
+    analysis = analyze_program(program)
+    pair_count = len(analysis.pair_set)
+    assert pair_count > 0
+    too_small = lint_config(analysis, mdpt_capacity=pair_count - 1)
+    assert rules_of(too_small) == {"mdpt-undersized"}
+    assert lint_config(analysis, mdpt_capacity=pair_count) == []
+
+
+def test_mdst_capacity_rule():
+    program = parse_file(HISTOGRAM)
+    analysis = analyze_program(program)
+    diags = lint_config(analysis, mdst_capacity=0)
+    assert rules_of(diags) == {"mdst-undersized"}
+
+
+def test_duplicate_label_rule():
+    source = "x:\n  nop\nx:\n  halt\n"
+    diags = lint_labels(source)
+    assert rules_of(diags) == {"duplicate-label"}
+    assert all(d.is_error for d in diags)
+
+
+def test_undefined_label_rule():
+    source = "  beq t0, t1, nowhere\n  halt\n"
+    diags = lint_labels(source)
+    assert rules_of(diags) == {"undefined-label"}
+    # lint_source reports it instead of crashing on the failed assembly
+    assert "undefined-label" in rules_of(lint_source(source))
+
+
+def test_parse_error_rule():
+    diags = lint_source("  frobnicate t0, t1\n")
+    assert rules_of(diags) == {"parse-error"}
+    assert has_errors(diags)
+
+
+def test_histogram_lints_clean():
+    assert lint_path(HISTOGRAM) == []
+
+
+def test_lint_demo_reports_three_distinct_rules_with_errors():
+    diags = lint_path(LINT_DEMO)
+    assert has_errors(diags)
+    assert len(rules_of(diags)) >= 3
+    assert {"misaligned-offset", "negative-address", "dead-store"} <= rules_of(diags)
+
+
+def test_diagnostics_sorted_errors_first():
+    diags = lint_path(LINT_DEMO)
+    severities = [d.severity for d in diags]
+    assert severities == sorted(
+        severities, key=lambda s: {"error": 0, "warning": 1, "info": 2}[s]
+    )
+
+
+def test_diagnostic_str_and_dict():
+    diags = lint_path(LINT_DEMO)
+    d = diags[0]
+    assert d.rule_id in str(d)
+    payload = d.to_dict()
+    assert payload["rule"] == d.rule_id
+    assert payload["severity"] == d.severity

@@ -1,0 +1,146 @@
+"""Reaching-stores dataflow: kills, base demotion, alias proofs."""
+
+from repro.isa.assembler import Assembler
+from repro.staticdep import (
+    AccessExpr,
+    ReachingStores,
+    StoreFact,
+    analyze_program,
+    may_alias,
+)
+
+
+def test_may_alias_proof_same_base_different_offset():
+    fact = StoreFact(0, AccessExpr(17, 0), base_intact=True)
+    assert not may_alias(fact, AccessExpr(17, 4))
+    assert may_alias(fact, AccessExpr(17, 0))
+
+
+def test_may_alias_conservative_when_base_redefined():
+    fact = StoreFact(0, AccessExpr(17, 0), base_intact=False)
+    # base moved since the store: same base + different offset may collide
+    assert may_alias(fact, AccessExpr(17, 4))
+
+
+def test_may_alias_conservative_across_bases():
+    fact = StoreFact(0, AccessExpr(17, 0), base_intact=True)
+    assert may_alias(fact, AccessExpr(18, 4))
+
+
+def test_straight_line_pair_found():
+    a = Assembler("p")
+    a.li("s1", 0x100)
+    a.sw("s1", "s1", 0)
+    a.lw("t0", "s1", 0)
+    a.halt()
+    analysis = analyze_program(a.assemble())
+    assert {(1, 2)} == analysis.pair_set
+
+
+def test_different_offset_same_base_proven_independent():
+    a = Assembler("p")
+    a.li("s1", 0x100)
+    a.sw("s1", "s1", 0)
+    a.lw("t0", "s1", 4)   # provably a different word
+    a.halt()
+    analysis = analyze_program(a.assemble())
+    assert analysis.pair_set == set()
+    assert analysis.dead_stores() == [1]
+
+
+def test_base_redefinition_demotes_the_proof():
+    a = Assembler("p")
+    a.li("s1", 0x100)
+    a.sw("s1", "s1", 0)
+    a.addi("s1", "s1", 4)  # base moves: the offsets no longer disambiguate
+    a.lw("t0", "s1", 4)
+    a.halt()
+    analysis = analyze_program(a.assemble())
+    assert analysis.pair_set == {(1, 3)}
+
+
+def test_must_alias_store_kills_earlier_store():
+    a = Assembler("p")
+    a.li("s1", 0x100)
+    a.li("t1", 7)
+    a.sw("t1", "s1", 0)   # killed: same base, same offset, base intact
+    a.sw("s1", "s1", 0)
+    a.lw("t0", "s1", 0)
+    a.halt()
+    analysis = analyze_program(a.assemble())
+    assert analysis.pair_set == {(3, 4)}
+
+
+def test_store_survives_kill_on_the_other_path():
+    a = Assembler("p")
+    a.li("s1", 0x100)              # 0
+    a.li("t1", 7)                  # 1
+    a.sw("t1", "s1", 0)            # 2
+    a.beq("t1", "zero", "skip")    # 3
+    a.sw("s1", "s1", 0)            # 4: overwrites only on this path
+    a.label("skip")
+    a.lw("t0", "s1", 0)            # 5
+    a.halt()                       # 6
+    analysis = analyze_program(a.assemble())
+    assert analysis.pair_set == {(2, 5), (4, 5)}
+
+
+def test_loop_carried_dependence_found():
+    a = Assembler("p")
+    a.li("s1", 0x100)
+    a.li("s3", 0)
+    a.li("s4", 4)
+    a.label("loop")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+    a.lw("t0", "s1", 0)     # pc 4: reads last iteration's store
+    a.addi("t0", "t0", 1)
+    a.sw("t0", "s1", 0)     # pc 6
+    a.blt("s3", "s4", "loop")
+    a.halt()
+    analysis = analyze_program(a.assemble())
+    assert (6, 4) in analysis.pair_set
+    pair = analysis.pairs_for_load(4)[0]
+    assert pair.min_task_distance == 1
+    assert pair.same_base
+
+
+def test_unreachable_loads_produce_no_pairs():
+    a = Assembler("p")
+    a.li("s1", 0x100)
+    a.sw("s1", "s1", 0)
+    a.j("end")
+    a.label("orphan")
+    a.lw("t0", "s1", 0)   # unreachable: not a candidate consumer
+    a.label("end")
+    a.halt()
+    analysis = analyze_program(a.assemble())
+    assert analysis.pair_set == set()
+
+
+def test_reaching_at_reports_store_facts():
+    a = Assembler("p")
+    a.li("s1", 0x100)
+    a.sw("s1", "s1", 0)
+    a.lw("t0", "s1", 0)
+    a.halt()
+    rs = ReachingStores(a.assemble())
+    facts = rs.reaching_at(2)
+    assert [f.store_pc for f in facts] == [1]
+    assert facts[0].base_intact
+
+
+def test_multi_producer_load_flagged():
+    a = Assembler("p")
+    a.li("s1", 0x100)
+    a.li("t1", 1)
+    a.beq("t1", "zero", "other")
+    a.sw("t1", "s1", 0)
+    a.j("use")
+    a.label("other")
+    a.sw("s1", "s1", 0)
+    a.label("use")
+    a.lw("t0", "s1", 0)
+    a.halt()
+    analysis = analyze_program(a.assemble())
+    assert analysis.multi_producer_loads() == [6]

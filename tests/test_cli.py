@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import POLICIES, main
+
+HISTOGRAM = "examples/programs/histogram.s"
+LINT_DEMO = "examples/programs/lint_demo.s"
 
 
 def test_workloads_listing(capsys):
@@ -70,3 +75,78 @@ def test_bad_policy_rejected():
 
 def test_module_entry_point():
     import repro.__main__  # noqa: F401  (importable without running)
+
+
+def test_policies_derived_from_registry():
+    from repro.multiscalar import available_policies, make_policy
+
+    assert POLICIES == available_policies()
+    for name in POLICIES:
+        assert make_policy(name) is not None
+
+
+def test_staticdep_command_on_workload(capsys):
+    assert main(["staticdep", "micro-recurrence-d1", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "'recall': 1.0" in out
+    assert "static candidate pairs" in out
+
+
+def test_staticdep_command_json(capsys):
+    assert main(["staticdep", "compress", "--scale", "tiny", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["recall"] == 1.0
+    assert payload["sound"] is True
+    assert payload["static_pairs"] == len(payload["pairs"])
+
+
+def test_staticdep_command_on_assembly_file(capsys):
+    assert main(["staticdep", HISTOGRAM]) == 0
+    out = capsys.readouterr().out
+    assert "static analysis:" in out
+
+
+def test_staticdep_unknown_target(capsys):
+    assert main(["staticdep", "no-such-workload"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_lint_clean_program_exits_zero(capsys):
+    assert main(["lint", HISTOGRAM]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_lint_demo_exits_nonzero_with_findings(capsys):
+    assert main(["lint", LINT_DEMO]) == 1
+    out = capsys.readouterr().out
+    rules = {
+        line.split("[", 1)[1].split("]", 1)[0]
+        for line in out.splitlines()
+        if "[" in line and "]" in line
+    }
+    assert len(rules) >= 3
+
+
+def test_lint_json_output(capsys):
+    assert main(["lint", LINT_DEMO, "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["errors"] >= 1
+    assert len({d["rule"] for d in payload["diagnostics"]}) >= 3
+    for diag in payload["diagnostics"]:
+        assert {"severity", "rule", "pc", "message"} <= set(diag)
+
+
+def test_lint_workload_target(capsys):
+    assert main(["lint", "micro-recurrence-d1", "--scale", "tiny"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_lint_missing_file(capsys):
+    assert main(["lint", "examples/programs/nope.s"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_lint_mdpt_capacity_flag(capsys):
+    assert main(["lint", HISTOGRAM, "--mdpt", "1"]) == 0
+    assert "mdpt-undersized" in capsys.readouterr().out

@@ -4,7 +4,7 @@ exhibit exactly the phenomenon it isolates."""
 import pytest
 
 from repro.multiscalar import MultiscalarConfig, simulate, make_policy
-from repro.workloads import get_workload, suite
+from repro.workloads import suite
 
 
 @pytest.fixture(scope="module")
