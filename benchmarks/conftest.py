@@ -4,7 +4,18 @@ Every benchmark regenerates one of the paper's tables or figures and
 prints the reproduced rows (run ``pytest benchmarks/ --benchmark-only -s``
 to see them).  Experiments are expensive, so each runs exactly once per
 benchmark via ``run_once``.
+
+Besides timing through pytest-benchmark, ``run_once`` records each
+benchmark's wall time and the key values of the table it produced;
+``pytest_sessionfinish`` writes the collection to ``BENCH_results.json``
+at the repository root (CI uploads it as a build artifact), giving a
+machine-readable history of both performance and reproduced numbers.
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
@@ -12,14 +23,62 @@ import pytest
 #: a couple of minutes while preserving every reported shape
 BENCH_SCALE = "test"
 
+#: records accumulated by ``run_once`` over the session
+_RESULTS = []
+
+
+def _table_summary(result):
+    """Key values of an :class:`ExperimentTable`-shaped result (duck
+    typed so the harness works for any future result container)."""
+    if not hasattr(result, "rows"):
+        return {"repr": repr(result)[:200]}
+    summary = {
+        "experiment": getattr(result, "experiment", None),
+        "title": getattr(result, "title", None),
+        "columns": list(getattr(result, "columns", [])),
+        "row_count": len(result.rows),
+    }
+    if result.rows:
+        summary["first_row"] = list(result.rows[0])
+        summary["last_row"] = list(result.rows[-1])
+    profile = getattr(result, "profile", None)
+    if profile:
+        summary["profile"] = profile
+    return summary
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark *fn* with a single round (experiments are deterministic
     and expensive; statistical repetition adds nothing)."""
-    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    timing = {}
+
+    def timed(*a, **kw):
+        start = time.perf_counter()
+        out = fn(*a, **kw)
+        timing["seconds"] = time.perf_counter() - start
+        return out
+
+    result = benchmark.pedantic(timed, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    test_id = os.environ.get("PYTEST_CURRENT_TEST", "").split(" ")[0]
+    _RESULTS.append(
+        {
+            "test": test_id,
+            "seconds": round(timing.get("seconds", 0.0), 6),
+            "table": _table_summary(result),
+        }
+    )
     print()
     print(result.to_text())
     return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the session's benchmark records as BENCH_results.json."""
+    if not _RESULTS:
+        return
+    path = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+    payload = {"scale": BENCH_SCALE, "results": _RESULTS}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session", autouse=True)

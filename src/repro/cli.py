@@ -5,11 +5,18 @@ Usage (also available as ``python -m repro``)::
     repro workloads                          # list the synthetic suites
     repro trace compress --scale test        # interpret + profile a workload
     repro simulate sc --policy esync -n 8    # one timing simulation
+    repro simulate sc --metrics m.json --trace-events t.json  # + telemetry
     repro compare compress -n 8              # all six policies side by side
     repro experiment table3                  # regenerate a paper table
     repro experiment all --scale tiny        # every table and figure
+    repro profile compress                   # where does wall time go?
     repro staticdep compress                 # static pairs vs the oracle
     repro lint examples/programs/histogram.s # speculation linter
+
+Most subcommands accept ``--json`` (machine-readable stdout); the
+simulation commands additionally accept ``--metrics FILE`` (metric
+registry dump) and ``--trace-events FILE`` (Chrome trace-event JSON,
+viewable at https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from repro.multiscalar import (
     make_policy,
 )
 from repro.oracle import profile_dependences
+from repro.telemetry import Profiler, make_telemetry, merged_trace
 from repro.workloads import all_workloads, get_workload
 
 #: Derived from the policy registry so new policies surface here
@@ -51,16 +59,31 @@ def _build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--scale", default="test")
     p_trace.add_argument("--top", type=int, default=5, help="pairs to display")
 
+    def add_telemetry_flags(p):
+        p.add_argument(
+            "--metrics", metavar="FILE",
+            help="write the run's metric registry (counters, gauges, "
+            "histograms, occupancy series) as JSON",
+        )
+        p.add_argument(
+            "--trace-events", metavar="FILE", dest="trace_events",
+            help="write a Chrome trace-event JSON file "
+            "(open at https://ui.perfetto.dev or chrome://tracing)",
+        )
+        p.add_argument("--json", action="store_true", dest="as_json")
+
     p_sim = sub.add_parser("simulate", help="run one timing simulation")
     p_sim.add_argument("workload")
     p_sim.add_argument("--policy", default="esync", choices=POLICIES)
     p_sim.add_argument("-n", "--stages", type=int, default=8)
     p_sim.add_argument("--scale", default="test")
+    add_telemetry_flags(p_sim)
 
     p_cmp = sub.add_parser("compare", help="compare all policies on a workload")
     p_cmp.add_argument("workload")
     p_cmp.add_argument("-n", "--stages", type=int, default=8)
     p_cmp.add_argument("--scale", default="test")
+    add_telemetry_flags(p_cmp)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("which", help="'all' or one of: %s" % ", ".join(sorted(ALL_EXPERIMENTS)))
@@ -70,6 +93,24 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="COLUMN",
         help="additionally render COLUMN as a text bar chart",
     )
+    add_telemetry_flags(p_exp)
+
+    p_prof = sub.add_parser(
+        "profile", help="profile one workload end to end (wall clock)"
+    )
+    p_prof.add_argument("workload")
+    p_prof.add_argument("--policy", default="esync", choices=POLICIES)
+    p_prof.add_argument("-n", "--stages", type=int, default=8)
+    p_prof.add_argument("--scale", default="test")
+    p_prof.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="simulate N times (trace generation still runs once)",
+    )
+    p_prof.add_argument(
+        "--trace-events", metavar="FILE", dest="trace_events",
+        help="write the wall-clock spans as Chrome trace-event JSON",
+    )
+    p_prof.add_argument("--json", action="store_true", dest="as_json")
 
     p_static = sub.add_parser(
         "staticdep",
@@ -147,16 +188,57 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _write_json(path, payload):
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def _run_telemetry(args, pid=0):
+    """A telemetry bundle when the run asked for one, else None.
+
+    None keeps the simulator on its null-sink default, which is the
+    zero-overhead contract the A/B test enforces.
+    """
+    if args.metrics or args.trace_events:
+        return make_telemetry(pid=pid)
+    return None
+
+
 def cmd_simulate(args) -> int:
     trace = get_workload(args.workload).trace(args.scale)
     policy = make_policy(args.policy)
-    sim = MultiscalarSimulator(trace, MultiscalarConfig(stages=args.stages), policy)
+    telemetry = _run_telemetry(args)
+    sim = MultiscalarSimulator(
+        trace, MultiscalarConfig(stages=args.stages), policy, telemetry=telemetry
+    )
     stats = sim.run()
+    if args.metrics:
+        _write_json(args.metrics, telemetry.metrics.to_dict())
+    if args.trace_events:
+        _write_json(args.trace_events, telemetry.trace.to_dict())
+    summary = stats.summary()
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "workload": args.workload,
+                    "policy": args.policy,
+                    "stages": args.stages,
+                    "scale": args.scale,
+                    "stats": summary,
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(
         "%s on %d stages under %s:"
         % (args.workload, args.stages, args.policy.upper())
     )
-    for key, value in stats.summary().items():
+    for key, value in summary.items():
+        if key == "breakdown":
+            value = "  ".join("%s=%d" % (b, value[b]) for b in ("nn", "ny", "yn", "yy"))
         print("  %-24s %s" % (key, value))
     return 0
 
@@ -165,10 +247,46 @@ def cmd_compare(args) -> int:
     trace = get_workload(args.workload).trace(args.scale)
     config = MultiscalarConfig(stages=args.stages)
     results = {}
-    for name in POLICIES:
-        sim = MultiscalarSimulator(trace, config, make_policy(name))
+    telemetries = {}
+    for pid, name in enumerate(POLICIES):
+        telemetry = _run_telemetry(args, pid=pid)
+        sim = MultiscalarSimulator(trace, config, make_policy(name), telemetry=telemetry)
         results[name] = sim.run()
+        telemetries[name] = telemetry
     base = results["never"]
+    if args.metrics:
+        _write_json(
+            args.metrics,
+            {name: telemetries[name].metrics.to_dict() for name in POLICIES},
+        )
+    if args.trace_events:
+        _write_json(
+            args.trace_events,
+            merged_trace(
+                [telemetries[name].trace for name in POLICIES],
+                names=[name.upper() for name in POLICIES],
+            ),
+        )
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "workload": args.workload,
+                    "stages": args.stages,
+                    "scale": args.scale,
+                    "baseline": "never",
+                    "policies": {
+                        name: dict(
+                            results[name].summary(),
+                            speedup_vs_never=round(speedup(base, results[name]), 2),
+                        )
+                        for name in POLICIES
+                    },
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(
         "%s, %d stages (%d instructions, %d tasks)"
         % (args.workload, args.stages, len(trace), trace.count_tasks())
@@ -184,7 +302,11 @@ def cmd_compare(args) -> int:
 
 
 def cmd_experiment(args) -> int:
+    from repro.telemetry import PROFILER
+
     keys = sorted(ALL_EXPERIMENTS) if args.which == "all" else [args.which]
+    mark = PROFILER.mark()
+    tables = []
     for key in keys:
         if key not in ALL_EXPERIMENTS:
             print(
@@ -194,6 +316,9 @@ def cmd_experiment(args) -> int:
             )
             return 2
         table = ALL_EXPERIMENTS[key](args.scale)
+        tables.append(table)
+        if args.as_json:
+            continue
         print(table.to_text())
         if getattr(args, "bars", None):
             try:
@@ -202,6 +327,59 @@ def cmd_experiment(args) -> int:
             except ValueError:
                 print("(column %r not in %s)" % (args.bars, key), file=sys.stderr)
         print()
+    if args.metrics:
+        _write_json(args.metrics, {"profile": PROFILER.summary(since=mark)})
+    if args.trace_events:
+        _write_json(args.trace_events, PROFILER.to_trace_events(since=mark))
+    if args.as_json:
+        print(json.dumps([table.to_json() for table in tables], indent=2))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Profile one workload end to end: trace generation, dependence
+    profiling, and (repeated) simulation, all wall-clock scoped."""
+    profiler = Profiler()
+    with profiler.scope("total"):
+        with profiler.scope("trace-gen"):
+            trace = get_workload(args.workload).trace(args.scale)
+        with profiler.scope("dependence-profile"):
+            profile_dependences(trace)
+        stats = None
+        for _ in range(max(1, args.repeat)):
+            policy = make_policy(args.policy)
+            sim = MultiscalarSimulator(
+                trace, MultiscalarConfig(stages=args.stages), policy
+            )
+            with profiler.scope("simulate"):
+                stats = sim.run()
+    if args.trace_events:
+        _write_json(args.trace_events, profiler.to_trace_events())
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "workload": args.workload,
+                    "policy": args.policy,
+                    "stages": args.stages,
+                    "scale": args.scale,
+                    "repeat": max(1, args.repeat),
+                    "profile": profiler.summary(),
+                    "stats": stats.summary(),
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        "%s (scale %s) under %s on %d stages, %d simulation run(s):"
+        % (args.workload, args.scale, args.policy.upper(), args.stages, max(1, args.repeat))
+    )
+    print(profiler.to_text())
+    print(
+        "simulated %d instructions in %d cycles (IPC %.2f)"
+        % (stats.committed_instructions, stats.cycles, stats.ipc)
+    )
     return 0
 
 
@@ -314,6 +492,7 @@ def main(argv=None) -> int:
         "simulate": cmd_simulate,
         "compare": cmd_compare,
         "experiment": cmd_experiment,
+        "profile": cmd_profile,
         "staticdep": cmd_staticdep,
         "lint": cmd_lint,
     }[args.command]

@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.core.mdpt import MDPT, MDPTEntry
 from repro.core.mdst import MDST
+from repro.telemetry.registry import NULL_METRICS
 
 
 @dataclass
@@ -54,7 +55,7 @@ class LoadRequestResult:
 class SynchronizationEngine:
     """Orchestrates one MDPT and one MDST."""
 
-    def __init__(self, mdpt: MDPT, mdst: MDST):
+    def __init__(self, mdpt: MDPT, mdst: MDST, metrics=None):
         self.mdpt = mdpt
         self.mdst = mdst
         # counters for diagnostics
@@ -62,6 +63,14 @@ class SynchronizationEngine:
         self.loads_satisfied_early = 0
         self.signals_delivered = 0
         self.fallback_releases = 0
+        # optional metric publication (repro.telemetry); the null sink
+        # discards everything at no observable cost
+        metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_parked = metrics.counter("engine.loads_parked")
+        self._m_early = metrics.counter("engine.loads_satisfied_early")
+        self._m_signals = metrics.counter("engine.signals_delivered")
+        self._m_releases = metrics.counter("engine.fallback_releases")
+        self._m_presets = metrics.counter("engine.signals_preset")
 
     # ------------------------------------------------------------------
     # load side (Figure 4 actions 2-4)
@@ -106,9 +115,11 @@ class SynchronizationEngine:
         if result.waits:
             result.proceed = False
             self.loads_parked += 1
+            self._m_parked.inc()
         elif result.predicted:
             result.satisfied_early = True
             self.loads_satisfied_early += 1
+            self._m_early.inc()
         return result
 
     # ------------------------------------------------------------------
@@ -133,6 +144,7 @@ class SynchronizationEngine:
                 if ldid is not None:
                     self.mdst.free(sync)
                     self.signals_delivered += 1
+                    self._m_signals.inc()
                     if not any(
                         e.waiting for e in self.mdst.entries_for_ldid(ldid)
                     ):
@@ -142,6 +154,7 @@ class SynchronizationEngine:
                 self.mdst.allocate(
                     entry.load_pc, store_pc, target, stid=stid, full=True
                 )
+                self._m_presets.inc()
         return woken
 
     # ------------------------------------------------------------------
@@ -163,6 +176,7 @@ class SynchronizationEngine:
                 self.mdst.free(entry)
         if pairs:
             self.fallback_releases += 1
+            self._m_releases.inc()
         return pairs
 
     def record_mis_speculation(

@@ -79,16 +79,31 @@ class SpeculationStats:
         return self.mis_speculations / self.committed_loads
 
     def summary(self) -> dict:
+        """Every accounted field, in a JSON-ready dict.
+
+        Completeness is load-bearing: ``repro simulate --json`` emits
+        exactly this, and the telemetry A/B test compares it between
+        instrumented and uninstrumented runs.
+        """
         return {
             "cycles": self.cycles,
             "instructions": self.committed_instructions,
             "ipc": round(self.ipc, 4),
             "loads": self.committed_loads,
+            "stores": self.committed_stores,
+            "tasks_committed": self.tasks_committed,
             "mis_speculations": self.mis_speculations,
             "register_mis_speculations": self.register_mis_speculations,
+            "value_mis_speculations": self.value_mis_speculations,
             "missspec_per_load": round(self.mis_speculations_per_committed_load, 6),
             "squashed_instructions": self.squashed_instructions,
             "control_mispredictions": self.control_mispredictions,
+            "breakdown": {
+                "nn": self.breakdown.nn,
+                "ny": self.breakdown.ny,
+                "yn": self.breakdown.yn,
+                "yy": self.breakdown.yy,
+            },
         }
 
 

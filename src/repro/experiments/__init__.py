@@ -8,6 +8,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.results import ExperimentTable
 from repro.experiments.staticdep import staticdep_coverage
+from repro.telemetry import PROFILER
 from repro.experiments.sweeps import SweepPoint, SweepResult, sweep
 from repro.experiments.tables import (
     RecordingAlwaysPolicy,
@@ -23,22 +24,59 @@ from repro.experiments.tables import (
     table9_missspec_rates,
 )
 
-#: experiment id -> runner, for programmatic access to the whole set
+def _profiled(key, runner):
+    """Wrap a runner so its wall-clock breakdown rides on the table.
+
+    Every invocation records an ``experiment:<key>`` scope on the
+    module-level profiler and attaches the aggregate of all scopes the
+    run produced (trace-gen, simulate, static-analysis, assembly
+    remainder) as ``table.profile`` — which ``to_text``/``to_json``
+    render, so the breakdown lands in EXPERIMENTS.md and ``--json``
+    output with no further plumbing.
+    """
+
+    def run(scale="test", **kwargs):
+        mark = PROFILER.mark()
+        with PROFILER.scope("experiment:%s" % key):
+            table = runner(scale, **kwargs)
+        profile = PROFILER.summary(since=mark)
+        total = profile["experiment:%s" % key]
+        attributed = sum(
+            agg["seconds"] for name, agg in profile.items()
+            if not name.startswith("experiment:")
+        )
+        remainder = round(total["seconds"] - attributed, 6)
+        if remainder > 0:
+            profile["assemble"] = {"calls": 1, "seconds": remainder}
+        table.profile = profile
+        return table
+
+    run.__name__ = "profiled_%s" % runner.__name__
+    run.__doc__ = runner.__doc__
+    return run
+
+
+#: experiment id -> profiled runner, for programmatic access to the
+#: whole set (the CLI, report generator, and benchmarks all go through
+#: this table, so every run carries its wall-clock profile)
 ALL_EXPERIMENTS = {
-    "table1": table1_instruction_counts,
-    "table2": table2_fu_latencies,
-    "table3": table3_window_missspec,
-    "table4": table4_static_coverage,
-    "table5": table5_ddc_missrate,
-    "table6": table6_multiscalar_missspec,
-    "table7": table7_multiscalar_ddc,
-    "table8": table8_prediction_breakdown,
-    "table9": table9_missspec_rates,
-    "figure5": figure5_policy_speedups,
-    "figure6": figure6_mechanism_speedups,
-    "figure7": figure7_spec95_speedups,
-    "window-scaling": extension_window_scaling,
-    "staticdep": staticdep_coverage,
+    key: _profiled(key, runner)
+    for key, runner in {
+        "table1": table1_instruction_counts,
+        "table2": table2_fu_latencies,
+        "table3": table3_window_missspec,
+        "table4": table4_static_coverage,
+        "table5": table5_ddc_missrate,
+        "table6": table6_multiscalar_missspec,
+        "table7": table7_multiscalar_ddc,
+        "table8": table8_prediction_breakdown,
+        "table9": table9_missspec_rates,
+        "figure5": figure5_policy_speedups,
+        "figure6": figure6_mechanism_speedups,
+        "figure7": figure7_spec95_speedups,
+        "window-scaling": extension_window_scaling,
+        "staticdep": staticdep_coverage,
+    }.items()
 }
 
 __all__ = [

@@ -12,12 +12,14 @@ from repro.core.stats import speedup
 from repro.experiments.results import ExperimentTable
 from repro.experiments.tables import SPECINT92, load_traces
 from repro.multiscalar import MultiscalarConfig, MultiscalarSimulator, make_policy
+from repro.telemetry import PROFILER
 
 
 def _run(trace, stages, policy_name):
     policy = make_policy(policy_name)
     sim = MultiscalarSimulator(trace, MultiscalarConfig(stages=stages), policy)
-    return sim.run()
+    with PROFILER.scope("simulate"):
+        return sim.run()
 
 
 def figure5_policy_speedups(scale="test", stage_counts=(4, 8)):

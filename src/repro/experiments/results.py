@@ -8,7 +8,7 @@ fixed-width layout the benchmark harness prints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 
 @dataclass
@@ -21,6 +21,9 @@ class ExperimentTable:
         columns: column headers.
         rows: list of row value lists (first entry is the row label).
         notes: provenance/caveat lines printed under the table.
+        profile: wall-clock breakdown of the run that produced the
+            table (scope name -> {"calls", "seconds"}), attached by the
+            profiled runners in :data:`repro.experiments.ALL_EXPERIMENTS`.
     """
 
     experiment: str
@@ -28,6 +31,7 @@ class ExperimentTable:
     columns: Sequence[str]
     rows: List[List[object]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    profile: Dict[str, dict] = field(default_factory=dict)
 
     def add_row(self, *values):
         if len(values) != len(self.columns):
@@ -75,7 +79,26 @@ class ExperimentTable:
             lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
         for note in self.notes:
             lines.append("note: %s" % note)
+        if self.profile:
+            parts = [
+                "%s %.2fs" % (name, agg["seconds"])
+                for name, agg in sorted(
+                    self.profile.items(), key=lambda kv: -kv[1]["seconds"]
+                )
+            ]
+            lines.append("profile: " + ", ".join(parts))
         return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """The table as one JSON-serializable object (CLI ``--json``)."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+            "profile": dict(self.profile),
+        }
 
     def to_bars(self, column, label_column=None, width=40) -> str:
         """Render one numeric column as a text bar chart.

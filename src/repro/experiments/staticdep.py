@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.experiments.results import ExperimentTable
 from repro.frontend import run_program
 from repro.staticdep import analyze_program, cross_check
+from repro.telemetry import PROFILER
 from repro.workloads import suite
 
 
@@ -35,8 +36,11 @@ def staticdep_coverage(scale="test", suites=("specint92", "micro")):
     for suite_name in suites:
         for workload in suite(suite_name):
             program = workload.program(scale)
-            analysis = analyze_program(program)
-            result = cross_check(run_program(program), analysis)
+            with PROFILER.scope("static-analysis"):
+                analysis = analyze_program(program)
+            with PROFILER.scope("trace-gen"):
+                trace = run_program(program)
+            result = cross_check(trace, analysis)
             table.add_row(
                 workload.name,
                 suite_name,

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.results import ExperimentTable
 from repro.multiscalar import MultiscalarConfig, MultiscalarSimulator, make_policy
+from repro.telemetry import PROFILER
 from repro.workloads import get_workload
 
 
@@ -100,7 +101,8 @@ def sweep(
     traces = dict(traces or {})
     for name in workloads:
         if name not in traces:
-            traces[name] = get_workload(name).trace(scale)
+            with PROFILER.scope("trace-gen"):
+                traces[name] = get_workload(name).trace(scale)
 
     keys = sorted(overrides)
     combos = list(itertools.product(*(overrides[k] for k in keys))) or [()]
@@ -112,7 +114,8 @@ def sweep(
                 sim = MultiscalarSimulator(
                     traces[name], config, make_policy(policy_name)
                 )
-                stats = sim.run()
+                with PROFILER.scope("simulate"):
+                    stats = sim.run()
                 result.points.append(
                     SweepPoint(
                         workload=name,

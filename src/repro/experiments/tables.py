@@ -20,6 +20,7 @@ from repro.oracle import (
     analyze_window,
     simulate_ddc_sizes,
 )
+from repro.telemetry import PROFILER
 from repro.workloads import suite
 
 #: The benchmark suite of the paper's Tables 3-9 experiments.
@@ -34,7 +35,8 @@ def load_traces(suite_name=SPECINT92, scale="test"):
     for workload in suite(suite_name):
         key = (workload.name, scale)
         if key not in _trace_cache:
-            _trace_cache[key] = workload.trace(scale)
+            with PROFILER.scope("trace-gen"):
+                _trace_cache[key] = workload.trace(scale)
         traces[workload.name] = _trace_cache[key]
     return traces
 
@@ -103,7 +105,9 @@ def table3_window_missspec(scale="test", window_sizes=PAPER_WINDOW_SIZES):
     for ws in window_sizes:
         row = [ws]
         for name in names:
-            row.append(analyze_window(traces[name], ws).mis_speculations)
+            with PROFILER.scope("window-analysis"):
+                result = analyze_window(traces[name], ws)
+            row.append(result.mis_speculations)
         table.add_row(*row)
     return table
 
@@ -122,7 +126,9 @@ def table4_static_coverage(scale="test", window_sizes=PAPER_WINDOW_SIZES, covera
     for ws in window_sizes:
         row = [ws]
         for name in names:
-            row.append(analyze_window(traces[name], ws).pairs_for_coverage(coverage))
+            with PROFILER.scope("window-analysis"):
+                result = analyze_window(traces[name], ws)
+            row.append(result.pairs_for_coverage(coverage))
         table.add_row(*row)
     return table
 
@@ -139,7 +145,8 @@ def table5_ddc_missrate(scale="test", window_sizes=(128, 256, 512), ddc_sizes=PA
         ["WS", "CS"] + names,
     )
     for ws in window_sizes:
-        events = {name: analyze_window(traces[name], ws).events for name in names}
+        with PROFILER.scope("window-analysis"):
+            events = {name: analyze_window(traces[name], ws).events for name in names}
         for cs in ddc_sizes:
             row = [ws, cs]
             for name in names:
@@ -152,7 +159,8 @@ def table5_ddc_missrate(scale="test", window_sizes=(128, 256, 512), ddc_sizes=PA
 def _simulate_with_violations(trace, stages):
     policy = RecordingAlwaysPolicy()
     sim = MultiscalarSimulator(trace, MultiscalarConfig(stages=stages), policy)
-    stats = sim.run()
+    with PROFILER.scope("simulate"):
+        stats = sim.run()
     return stats, policy.events
 
 
@@ -223,7 +231,8 @@ def table8_prediction_breakdown(scale="test", stages=4, predictors=("sync", "esy
             sim = MultiscalarSimulator(
                 traces[name], MultiscalarConfig(stages=stages), policy
             )
-            stats = sim.run()
+            with PROFILER.scope("simulate"):
+                stats = sim.run()
             breakdowns[name] = stats.breakdown.percentages()
         for bucket, label in (("nn", "N/N"), ("ny", "N/Y"), ("yn", "Y/N"), ("yy", "Y/Y")):
             row = [predictor.upper(), label]
@@ -252,7 +261,8 @@ def table9_missspec_rates(scale="test", stage_counts=(4, 8), predictor="esync"):
                 sim = MultiscalarSimulator(
                     traces[name], MultiscalarConfig(stages=stages), policy
                 )
-                stats = sim.run()
+                with PROFILER.scope("simulate"):
+                    stats = sim.run()
                 row.append(round(stats.mis_speculations_per_committed_load, 5))
             table.add_row(*row)
     return table

@@ -80,8 +80,17 @@ class TimelineRecorder(SpeculationPolicy):
         self.squashes.append((now, first_seq))
         self.inner.on_squash(first_seq, now)
 
+    def on_task_dispatched(self, task_id, now):
+        self.inner.on_task_dispatched(task_id, now)
+
     def on_task_committed(self, task_id, now):
         self.inner.on_task_committed(task_id, now)
+
+    def absolves_violation(self, store_seq, load_seq):
+        return self.inner.absolves_violation(store_seq, load_seq)
+
+    def publish_telemetry(self, telemetry):
+        self.inner.publish_telemetry(telemetry)
 
     # -- reporting -----------------------------------------------------------
 
@@ -127,19 +136,21 @@ class TimelineRecorder(SpeculationPolicy):
             "tasks %d..%d, cycles %d..%d (one column = %d cycle(s))"
             % (first_task, last_task, t0, t1, scale)
         ]
-        violation_times = {
-            record.time
-            for record in self.violations
-            if t0 <= record.time <= t1
-        }
+        trace = sim.trace
         for task_id, start, end in spans:
             offset = (start - t0) // scale
             length = max(1, (end - start) // scale)
             bar = " " * offset + "#" * length
-            marks = "".join(
-                "!" if any(start <= vt <= end for vt in violation_times) else ""
+            # one "!" per violation whose squashed load belongs to THIS
+            # task and was detected inside the task's dispatch..complete
+            # span (re-executions can re-violate, so counts can exceed 1)
+            count = sum(
+                1
+                for record in self.violations
+                if trace[record.load_seq].task_id == task_id
+                and start <= record.time <= end
             )
-            lines.append("task %-5d |%s%s" % (task_id, bar, marks))
+            lines.append("task %-5d |%s%s" % (task_id, bar, "!" * count))
         if self.violations:
             lines.append("violations: %d (pairs: %s)" % (
                 len(self.violations),

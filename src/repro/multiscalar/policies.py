@@ -31,6 +31,7 @@ from repro.core.mdpt import MDPT
 from repro.core.mdst import MDST
 from repro.core.predictors import make_predictor
 from repro.core.unified import SlottedMDST
+from repro.telemetry import NULL_TELEMETRY
 
 
 class SpeculationPolicy:
@@ -71,6 +72,10 @@ class SpeculationPolicy:
 
     def on_task_committed(self, task_id, now):
         """The head task committed (apply non-speculative updates)."""
+
+    def publish_telemetry(self, telemetry):
+        """Publish end-of-run metrics (called once after the run when
+        telemetry is enabled; must not mutate policy state)."""
 
 
 class AlwaysPolicy(SpeculationPolicy):
@@ -181,7 +186,11 @@ class MechanismPolicy(SpeculationPolicy):
             mdst = SlottedMDST(self.capacity * stages, slots_per_pair=stages)
         else:
             mdst = MDST(self.mdst_capacity or self.capacity * stages)
-        self.engine = SynchronizationEngine(mdpt, mdst)
+        # tolerate facade sims (tests, notebooks) without a telemetry slot
+        self._telemetry = getattr(sim, "telemetry", NULL_TELEMETRY)
+        self.engine = SynchronizationEngine(
+            mdpt, mdst, metrics=self._telemetry.metrics
+        )
         n = len(sim.trace)
         self._status = [self._NOT_SEEN] * n
         self._wake_time = [0] * n
@@ -189,6 +198,24 @@ class MechanismPolicy(SpeculationPolicy):
         self._pending_updates: Dict[int, list] = {}
 
     # -- helpers ---------------------------------------------------------
+
+    def _sample_occupancy(self, now):
+        """Table occupancy and condition-variable pool pressure at *now*.
+
+        Sampled at task dispatch and commit — the points where the
+        window (and with it the tables' working set) changes shape.
+        """
+        metrics = self._telemetry.metrics
+        mdpt, mdst = self.engine.mdpt, self.engine.mdst
+        waiting = sum(1 for e in mdst if e.waiting)
+        metrics.series("mdpt.occupancy").sample(now, len(mdpt))
+        metrics.series("mdst.occupancy").sample(now, len(mdst))
+        metrics.series("mdst.waiting_loads").sample(now, waiting)
+        trace = self._telemetry.trace
+        trace.counter("MDPT occupancy", now, {"entries": len(mdpt)})
+        trace.counter(
+            "MDST occupancy", now, {"waiting": waiting, "full": len(mdst) - waiting}
+        )
 
     def _defer(self, seq, kind, payload):
         task_id = self.sim.trace[seq].task_id
@@ -300,7 +327,28 @@ class MechanismPolicy(SpeculationPolicy):
             lambda stid: stid >= first_seq,
         )
 
+    def on_task_dispatched(self, task_id, now):
+        if self._telemetry.enabled:
+            self._sample_occupancy(now)
+
+    def publish_telemetry(self, telemetry):
+        metrics = telemetry.metrics
+        mdpt, mdst = self.engine.mdpt, self.engine.mdst
+        metrics.gauge("mdpt.capacity").set(mdpt.capacity)
+        metrics.gauge("mdpt.entries").set(len(mdpt))
+        metrics.gauge("mdpt.allocations").set(mdpt.allocations)
+        metrics.gauge("mdpt.evictions").set(mdpt.evictions)
+        metrics.gauge("mdst.capacity").set(mdst.capacity)
+        metrics.gauge("mdst.entries").set(len(mdst))
+        metrics.gauge("mdst.allocations").set(mdst.allocations)
+        metrics.gauge("mdst.overflow_drops").set(mdst.overflow_drops)
+        metrics.gauge("mdst.failed_allocations").set(mdst.failed_allocations)
+        if isinstance(mdst, SlottedMDST):
+            metrics.gauge("mdst.slot_replacements").set(mdst.slot_replacements)
+
     def on_task_committed(self, task_id, now):
+        if self._telemetry.enabled:
+            self._sample_occupancy(now)
         for kind, payload, _seq in self._pending_updates.pop(task_id, ()):
             if kind == "reward":
                 self.engine.reward_pair(*payload)
@@ -386,6 +434,10 @@ class ValueSyncPolicy(MechanismPolicy):
 
     def absolves_violation(self, store_seq, load_seq):
         return load_seq in self._verified_ok
+
+    def publish_telemetry(self, telemetry):
+        super().publish_telemetry(telemetry)
+        telemetry.metrics.gauge("vsync.value_speculations").set(self.value_speculations)
 
     def on_squash(self, first_seq, now):
         super().on_squash(first_seq, now)

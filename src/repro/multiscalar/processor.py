@@ -30,6 +30,7 @@ from repro.memsys.icache import InstructionCache
 from repro.multiscalar.config import MultiscalarConfig
 from repro.multiscalar.policies import AlwaysPolicy, SpeculationPolicy
 from repro.multiscalar.sequencer import PathBasedTaskPredictor
+from repro.telemetry import NULL_TELEMETRY
 
 
 class SimulationError(Exception):
@@ -65,12 +66,24 @@ class _LazyMinSet:
 class MultiscalarSimulator:
     """Simulates one trace under one configuration and policy."""
 
-    def __init__(self, trace, config=None, policy: Optional[SpeculationPolicy] = None):
+    def __init__(
+        self,
+        trace,
+        config=None,
+        policy: Optional[SpeculationPolicy] = None,
+        telemetry=None,
+    ):
         self.trace = trace
         self.config = config or MultiscalarConfig()
         self.policy = policy or AlwaysPolicy()
         self.cache = BankedCache(self.config.make_cache_config())
         self.stats = SpeculationStats()
+        # instrumentation is opt-in: the null default makes every sink
+        # call a no-op and lets hot paths skip telemetry entirely, so
+        # results and runtimes are unchanged when it is off (the A/B
+        # test in tests/telemetry/test_ab.py holds the simulator to it)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel_on = self.telemetry.enabled
         self._prepare_static()
 
     # ------------------------------------------------------------------
@@ -273,6 +286,11 @@ class MultiscalarSimulator:
         self._pending_correct = [True] * (self.n_tasks + 1)
 
         self.sequencer = PathBasedTaskPredictor(history=cfg.predictor_history)
+        self._load_first_attempt: Dict[int, int] = {}
+        if self._tel_on:
+            trace_sink = self.telemetry.trace
+            for stage in range(cfg.stages):
+                trace_sink.thread_name(stage, "stage %d" % stage)
         self.policy.bind(self)
 
         now = 0
@@ -305,7 +323,23 @@ class MultiscalarSimulator:
 
         self.stats.cycles = now
         self.stats.control_mispredictions = self.sequencer.mispredictions
+        if self._tel_on:
+            self._publish_run_metrics()
+            self.policy.publish_telemetry(self.telemetry)
         return self.stats
+
+    def _publish_run_metrics(self):
+        """End-of-run gauges (simulated-time totals and machine shape)."""
+        metrics = self.telemetry.metrics
+        stats = self.stats
+        metrics.gauge("sim.cycles").set(stats.cycles)
+        metrics.gauge("sim.ipc").set(round(stats.ipc, 4))
+        metrics.gauge("sim.tasks_committed").set(stats.tasks_committed)
+        metrics.gauge("sim.committed_instructions").set(stats.committed_instructions)
+        metrics.gauge("sim.squashed_instructions").set(stats.squashed_instructions)
+        metrics.gauge("sim.control_mispredictions").set(stats.control_mispredictions)
+        metrics.gauge("config.stages").set(self.config.stages)
+        metrics.gauge("policy.name").set(self.policy.name)
 
     # -- dispatch ----------------------------------------------------------
 
@@ -481,8 +515,14 @@ class MultiscalarSimulator:
         if entry.is_load:
             if not self._intra_task_gate(seq, entry.addr, now):
                 return False
+            if self._tel_on:
+                self._load_first_attempt.setdefault(seq, now)
             if not self.policy.may_issue_load(seq, now):
+                if self._tel_on:
+                    self.telemetry.metrics.counter("policy.load_denials").inc()
                 return False
+            if self._tel_on:
+                self.telemetry.metrics.counter("policy.load_grants").inc()
         if entry.is_memory:
             completion = self.cache.access(entry.addr, now + cfg.agen_latency)
         else:
@@ -496,6 +536,19 @@ class MultiscalarSimulator:
             self._unknown_addr_stores.discard(seq)
             self._store_perform[seq] = now + 1
             self.policy.on_store_issued(seq, now)
+        if self._tel_on and entry.is_load:
+            first = self._load_first_attempt.pop(seq, now)
+            wait = now - first
+            self.telemetry.metrics.histogram("load.wait_cycles").observe(wait)
+            if wait > 0:
+                self.telemetry.trace.complete(
+                    "load stall pc=%d" % entry.pc,
+                    ts=first,
+                    dur=wait,
+                    tid=task_id % self.config.stages,
+                    cat="stall",
+                    args={"seq": seq, "pc": entry.pc, "task": task_id},
+                )
         heapq.heappush(self._events, (completion, seq, self._epoch[seq]))
         return True
 
@@ -587,6 +640,18 @@ class MultiscalarSimulator:
 
     def _handle_register_violation(self, producer, consumer, time):
         self.stats.register_mis_speculations += 1
+        if self._tel_on:
+            self.telemetry.metrics.counter("sim.register_mis_speculations").inc()
+            self.telemetry.trace.instant(
+                "register violation",
+                ts=time,
+                tid=self.task_of[consumer] % self.config.stages,
+                cat="violation",
+                args={
+                    "producer_pc": self.trace.entries[producer].pc,
+                    "consumer_pc": self.trace.entries[consumer].pc,
+                },
+            )
         pair = (
             self.trace.entries[producer].pc,
             self.trace.entries[consumer].pc,
@@ -619,6 +684,21 @@ class MultiscalarSimulator:
     def _handle_violation(self, store_seq, load_seq, time):
         self.stats.mis_speculations += 1
         self.stats.breakdown.ny += 1
+        if self._tel_on:
+            entries = self.trace.entries
+            self.telemetry.metrics.counter("sim.mis_speculations").inc()
+            self.telemetry.trace.instant(
+                "violation store@%d->load@%d"
+                % (entries[store_seq].pc, entries[load_seq].pc),
+                ts=time,
+                tid=self.task_of[load_seq] % self.config.stages,
+                cat="violation",
+                args={
+                    "store_pc": entries[store_seq].pc,
+                    "load_pc": entries[load_seq].pc,
+                    "distance": self.task_of[load_seq] - self.task_of[store_seq],
+                },
+            )
         self.policy.on_violation(store_seq, load_seq, time)
         restart = time + self.config.squash_penalty
         self._squash_from_seq(load_seq, restart)
@@ -637,6 +717,7 @@ class MultiscalarSimulator:
         """
         cfg = self.config
         first_task = self.task_of[first_seq]
+        squashed_before = self.stats.squashed_instructions
         for task_id in range(first_task, self._next_dispatch):
             reset_any = False
             for seq in self.tasks[task_id]:
@@ -653,6 +734,8 @@ class MultiscalarSimulator:
                 self.issue_time[seq] = None
                 self.done[seq] = None
                 self._pending_class.pop(seq, None)
+                if self._tel_on:
+                    self._load_first_attempt.pop(seq, None)
                 entry = self.trace.entries[seq]
                 if entry.is_store:
                     self._unissued_stores.add(seq)
@@ -665,6 +748,17 @@ class MultiscalarSimulator:
             ]
             offset = task_id - first_task
             self._issue_floor[task_id] = restart + offset * cfg.squash_stagger
+        if self._tel_on:
+            depth = self.stats.squashed_instructions - squashed_before
+            self.telemetry.metrics.counter("sim.squashes").inc()
+            self.telemetry.metrics.histogram("squash.depth").observe(depth)
+            self.telemetry.trace.instant(
+                "squash from seq %d" % first_seq,
+                ts=restart,
+                tid=first_task % cfg.stages,
+                cat="squash",
+                args={"first_seq": first_seq, "squashed_instructions": depth},
+            )
         self.policy.on_squash(first_seq, restart)
 
     # -- commit ---------------------------------------------------------------
@@ -687,6 +781,19 @@ class MultiscalarSimulator:
                 elif entry.is_store:
                     self.stats.committed_stores += 1
             self.stats.tasks_committed += 1
+            if self._tel_on:
+                dispatch = self._dispatch_time[task_id]
+                self.telemetry.trace.complete(
+                    "task %d" % task_id,
+                    ts=dispatch,
+                    dur=max(1, now - dispatch),
+                    tid=task_id % self.config.stages,
+                    cat="task",
+                    args={
+                        "task_pc": self.task_pcs[task_id],
+                        "instructions": len(self.tasks[task_id]),
+                    },
+                )
             self.policy.on_task_committed(task_id, now)
             self._head += 1
             progressed = True

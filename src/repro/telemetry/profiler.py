@@ -1,0 +1,147 @@
+"""Wall-clock profiling of the experiment pipeline.
+
+A :class:`Profiler` records nested :class:`ProfileScope` spans measured
+with ``time.perf_counter``.  The experiment runners wrap their three
+phases — trace generation, simulation, and table assembly — so every
+report can state where its wall time went, and ``repro profile`` can
+render the breakdown for one workload.
+
+Two export shapes:
+
+* :meth:`Profiler.summary` — per-scope-name aggregate (calls, seconds),
+  the dict attached to :class:`~repro.experiments.results.ExperimentTable`
+  instances;
+* :meth:`Profiler.to_trace_events` — the recorded spans as a Chrome
+  trace-event object, so wall time opens in Perfetto exactly like
+  simulated time.
+
+The module-level :data:`PROFILER` is the default instance the
+experiment runners publish into.  Recording a scope costs two
+``perf_counter`` calls and one append — cheap enough to leave on
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ProfileRecord:
+    """One completed scope."""
+
+    name: str
+    start: float
+    stop: float
+    depth: int
+
+    @property
+    def seconds(self) -> float:
+        return self.stop - self.start
+
+
+class ProfileScope:
+    """Context manager recording one span into its profiler."""
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self.profiler = profiler
+        self.name = name
+        self.start: Optional[float] = None
+
+    def __enter__(self) -> "ProfileScope":
+        self.start = time.perf_counter()
+        self.profiler._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        stop = time.perf_counter()
+        stack = self.profiler._stack
+        assert stack and stack[-1] is self, "unbalanced profile scopes"
+        stack.pop()
+        self.profiler.records.append(
+            ProfileRecord(self.name, self.start, stop, depth=len(stack))
+        )
+        return False
+
+
+class Profiler:
+    """An append-only log of completed scopes."""
+
+    def __init__(self):
+        self.records: List[ProfileRecord] = []
+        self._stack: List[ProfileScope] = []
+
+    def scope(self, name) -> ProfileScope:
+        return ProfileScope(self, name)
+
+    def mark(self) -> int:
+        """A position; pass to ``summary``/``to_trace_events`` as *since*
+        to report only scopes recorded after it."""
+        return len(self.records)
+
+    def summary(self, since=0) -> Dict[str, dict]:
+        """Aggregate seconds and call counts per scope name.
+
+        Nested scopes are reported individually *and* contribute to
+        their enclosing scope's time (inclusive accounting, like any
+        sampling profiler's "cumulative" column).
+        """
+        out: Dict[str, dict] = {}
+        for record in self.records[since:]:
+            agg = out.setdefault(record.name, {"calls": 0, "seconds": 0.0})
+            agg["calls"] += 1
+            agg["seconds"] += record.seconds
+        for agg in out.values():
+            agg["seconds"] = round(agg["seconds"], 6)
+        return out
+
+    def to_text(self, since=0) -> str:
+        """Render the aggregate, widest scope first."""
+        summary = self.summary(since)
+        if not summary:
+            return "(no profile records)"
+        width = max(len(name) for name in summary)
+        lines = ["%-*s %9s %6s" % (width, "scope", "seconds", "calls")]
+        for name, agg in sorted(summary.items(), key=lambda kv: -kv[1]["seconds"]):
+            lines.append("%-*s %9.4f %6d" % (width, name, agg["seconds"], agg["calls"]))
+        return "\n".join(lines)
+
+    def to_trace_events(self, since=0) -> dict:
+        """The recorded spans as a Chrome trace-event object.
+
+        Timestamps are microseconds relative to the earliest reported
+        span, all on one track (wall time is single-threaded here).
+        """
+        records = self.records[since:]
+        if not records:
+            return {"traceEvents": [], "displayTimeUnit": "ms"}
+        t0 = min(record.start for record in records)
+        events = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "wall clock"},
+            }
+        ]
+        for record in sorted(records, key=lambda r: r.start):
+            events.append(
+                {
+                    "name": record.name,
+                    "cat": "profile",
+                    "ph": "X",
+                    "ts": round((record.start - t0) * 1e6, 3),
+                    "dur": round(record.seconds * 1e6, 3),
+                    "pid": 0,
+                    "tid": 0,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+#: Default profiler the experiment runners publish into.
+PROFILER = Profiler()

@@ -45,6 +45,33 @@ def test_text_rendering():
     assert str(t) == text
 
 
+def test_to_json_round_trips():
+    import json
+
+    t = make_table()
+    t.profile = {"simulate": {"calls": 2, "seconds": 0.5}}
+    payload = json.loads(json.dumps(t.to_json()))
+    assert payload["experiment"] == "tableX"
+    assert payload["columns"] == ["name", "value", "ratio"]
+    assert payload["rows"][0] == ["alpha", 1, 0.5]
+    assert payload["profile"]["simulate"]["calls"] == 2
+
+
+def test_profile_renders_in_text():
+    t = make_table()
+    assert "profile:" not in t.to_text()  # absent until attached
+    t.profile = {"simulate": {"calls": 1, "seconds": 1.25}}
+    assert "profile: simulate 1.25s" in t.to_text()
+
+
+def test_all_experiments_attach_profile():
+    from repro.experiments import ALL_EXPERIMENTS
+
+    table = ALL_EXPERIMENTS["table2"]()  # static config table: cheap
+    assert "experiment:table2" in table.profile
+    assert table.profile["experiment:table2"]["calls"] == 1
+
+
 def test_empty_table_renders():
     t = ExperimentTable("t", "empty", ["a", "b"])
     assert "empty" in t.to_text()

@@ -77,6 +77,30 @@ def test_render_produces_bars():
     assert "violations:" in text
 
 
+def test_render_marks_every_violation():
+    """Each violation in the rendered window shows as one '!' on the
+    line of the task whose load was squashed."""
+    sim, recorder, stats = run_with_recorder("always")
+    text = recorder.render(sim, first_task=0, last_task=sim.n_tasks - 1)
+    task_lines = [line for line in text.splitlines() if line.startswith("task ")]
+    assert sum(line.count("!") for line in task_lines) == len(recorder.violations)
+    assert len(recorder.violations) > 1  # the regression: only one ever showed
+
+
+def test_render_repeated_violations_on_one_task():
+    """A task that violates more than once gets one marker per
+    violation, not a single collapsed '!'."""
+    import dataclasses
+
+    sim, recorder, _ = run_with_recorder("always")
+    record = recorder.violations[0]
+    recorder.violations.append(dataclasses.replace(record))
+    task_id = sim.trace[record.load_seq].task_id
+    text = recorder.render(sim, first_task=task_id, last_task=task_id)
+    (line,) = [l for l in text.splitlines() if l.startswith("task ")]
+    assert line.count("!") == 2
+
+
 def test_render_empty_range():
     sim, recorder, _ = run_with_recorder("always")
     assert "no completed tasks" in recorder.render(sim, first_task=10**6)

@@ -223,5 +223,18 @@ def test_cycles_scale_with_trace_length():
 def test_stats_summary_keys():
     stats = simulate(loop_trace(iterations=5))
     summary = stats.summary()
-    for key in ("cycles", "instructions", "ipc", "loads", "mis_speculations"):
+    for key in (
+        "cycles",
+        "instructions",
+        "ipc",
+        "loads",
+        "stores",
+        "tasks_committed",
+        "mis_speculations",
+        "value_mis_speculations",
+        "breakdown",
+    ):
         assert key in summary
+    assert summary["stores"] == stats.committed_stores
+    assert summary["tasks_committed"] == stats.tasks_committed
+    assert set(summary["breakdown"]) == {"nn", "ny", "yn", "yy"}

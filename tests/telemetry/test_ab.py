@@ -1,0 +1,131 @@
+"""A/B contract: telemetry on or off, simulated results are identical.
+
+Also the integration-level checks of what an instrumented run actually
+publishes — occupancy series, wait-cycle histograms, stage-track trace
+events — against a run of the real simulator.
+"""
+
+import json
+
+from repro.frontend import run_program
+from repro.isa import Assembler
+from repro.multiscalar import MultiscalarConfig, MultiscalarSimulator, make_policy
+from repro.telemetry import NULL_TELEMETRY, make_telemetry
+
+
+def recurrence_trace(iterations=24):
+    a = Assembler("rec")
+    a.li("s1", 0x1000)
+    a.li("s3", 0)
+    a.li("s4", iterations)
+    a.label("top")
+    a.task_begin()
+    a.addi("s3", "s3", 1)
+    a.lw("t0", "s1", 0)
+    a.addi("t0", "t0", 1)
+    a.sw("t0", "s1", 0)
+    a.blt("s3", "s4", "top")
+    a.halt()
+    return run_program(a.assemble())
+
+
+def run(policy_name, telemetry=None, stages=4):
+    trace = recurrence_trace()
+    sim = MultiscalarSimulator(
+        trace, MultiscalarConfig(stages=stages), make_policy(policy_name),
+        telemetry=telemetry,
+    )
+    stats = sim.run()
+    return sim, stats
+
+
+def test_ab_identical_stats_all_policies():
+    """The tentpole contract: enabling telemetry must not change one bit
+    of the simulated outcome."""
+    for policy_name in ("always", "wait", "psync", "sync", "esync"):
+        _, off = run(policy_name)
+        _, on = run(policy_name, telemetry=make_telemetry())
+        assert off.summary() == on.summary(), policy_name
+
+
+def test_default_is_null_telemetry():
+    sim, _ = run("esync")
+    assert sim.telemetry is NULL_TELEMETRY
+    assert sim.telemetry.enabled is False
+    assert sim.telemetry.metrics.to_dict()["counters"] == {}
+
+
+def test_metrics_catalogue_of_mechanism_run():
+    telemetry = make_telemetry()
+    _, stats = run("esync", telemetry=telemetry)
+    metrics = telemetry.metrics.to_dict()
+
+    # occupancy time-series from the prediction/synchronization tables
+    assert metrics["series"]["mdpt.occupancy"], "MDPT occupancy series empty"
+    assert "mdst.occupancy" in metrics["series"]
+    assert "mdst.waiting_loads" in metrics["series"]
+    for t, v in metrics["series"]["mdpt.occupancy"]:
+        assert t >= 0 and v >= 0
+
+    # load wait-cycle histogram covers every issued load
+    wait = metrics["histograms"]["load.wait_cycles"]
+    assert wait["count"] > 0
+    assert wait["min"] >= 0
+
+    # end-of-run gauges published by the simulator and the tables
+    gauges = metrics["gauges"]
+    assert gauges["sim.cycles"] == stats.cycles
+    assert gauges["sim.tasks_committed"] == stats.tasks_committed
+    assert gauges["mdpt.capacity"] > 0
+    assert gauges["policy.name"] == "ESYNC"
+
+    # engine decision counters exist (parked loads on a recurrence)
+    counters = metrics["counters"]
+    assert "policy.load_grants" in counters
+
+
+def test_blind_run_publishes_squash_telemetry():
+    telemetry = make_telemetry()
+    _, stats = run("always", telemetry=telemetry)
+    metrics = telemetry.metrics.to_dict()
+    assert stats.mis_speculations > 0
+    assert metrics["counters"]["sim.mis_speculations"] == stats.mis_speculations
+    assert metrics["counters"]["sim.squashes"] == stats.mis_speculations
+    assert metrics["histograms"]["squash.depth"]["count"] == stats.mis_speculations
+
+
+def test_trace_events_cover_stages_and_violations():
+    telemetry = make_telemetry()
+    sim, stats = run("always", telemetry=telemetry)
+    payload = json.loads(json.dumps(telemetry.trace.to_dict()))
+    events = payload["traceEvents"]
+    assert events, "no trace events recorded"
+    for event in events:
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+
+    # one named track per Multiscalar stage
+    stage_names = {
+        e["args"]["name"] for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert stage_names == {"stage %d" % i for i in range(sim.config.stages)}
+
+    # dispatch-to-commit task spans, one per committed task
+    task_spans = [e for e in events if e["ph"] == "X" and e["cat"] == "task"]
+    assert len(task_spans) == stats.tasks_committed
+    assert all(e["dur"] >= 1 for e in task_spans)
+    assert {e["tid"] for e in task_spans} <= set(range(sim.config.stages))
+
+    # violation instants carry the static pair
+    violations = [e for e in events if e["ph"] == "i" and e["cat"] == "violation"]
+    assert len(violations) == stats.mis_speculations
+    for event in violations:
+        assert {"store_pc", "load_pc", "distance"} <= set(event["args"])
+
+
+def test_metrics_only_telemetry_skips_trace():
+    telemetry = make_telemetry(trace=False)
+    run("esync", telemetry=telemetry)
+    assert telemetry.enabled is True
+    assert telemetry.trace.events == []
+    assert telemetry.metrics.to_dict()["series"]["mdpt.occupancy"]

@@ -1,0 +1,85 @@
+"""Tests for the Chrome trace-event sink."""
+
+import json
+
+from repro.telemetry import NULL_TRACE, NullTraceSink, TraceEventSink, merged_trace
+
+
+def test_complete_event_shape():
+    sink = TraceEventSink(pid=3)
+    sink.complete("task 0", ts=10, dur=5, tid=2, cat="task", args={"pc": 4})
+    (event,) = sink.events
+    assert event == {
+        "name": "task 0",
+        "cat": "task",
+        "ph": "X",
+        "ts": 10,
+        "dur": 5,
+        "pid": 3,
+        "tid": 2,
+        "args": {"pc": 4},
+    }
+
+
+def test_instant_event_is_thread_scoped():
+    sink = TraceEventSink()
+    sink.instant("violation", ts=7)
+    (event,) = sink.events
+    assert event["ph"] == "i"
+    assert event["s"] == "t"
+    assert "args" not in event  # omitted when not given
+
+
+def test_counter_event_carries_values():
+    sink = TraceEventSink()
+    sink.counter("MDPT occupancy", ts=4, values={"entries": 9})
+    (event,) = sink.events
+    assert event["ph"] == "C"
+    assert event["args"] == {"entries": 9}
+
+
+def test_metadata_events():
+    sink = TraceEventSink(pid=1)
+    sink.process_name("ESYNC")
+    sink.thread_name(3, "stage 3")
+    kinds = [(e["name"], e["ph"], e["tid"], e["args"]["name"]) for e in sink.events]
+    assert kinds == [
+        ("process_name", "M", 0, "ESYNC"),
+        ("thread_name", "M", 3, "stage 3"),
+    ]
+
+
+def test_to_dict_is_valid_trace_json():
+    sink = TraceEventSink()
+    sink.complete("a", 0, 1)
+    sink.instant("b", 1)
+    payload = json.loads(json.dumps(sink.to_dict()))
+    assert isinstance(payload["traceEvents"], list)
+    assert payload["displayTimeUnit"] == "ms"
+    for event in payload["traceEvents"]:
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+
+
+def test_null_sink_records_nothing():
+    assert NULL_TRACE.enabled is False
+    sink = NullTraceSink()
+    sink.complete("a", 0, 1)
+    sink.instant("b", 1)
+    sink.counter("c", 2, {"v": 1})
+    sink.process_name("p")
+    sink.thread_name(0, "t")
+    assert sink.events == []
+    assert sink.to_dict()["traceEvents"] == []
+
+
+def test_merged_trace_groups_by_pid():
+    a = TraceEventSink(pid=0)
+    a.complete("x", 0, 1)
+    b = TraceEventSink(pid=1)
+    b.complete("y", 0, 1)
+    merged = merged_trace([a, b], names=["NEVER", "ESYNC"])
+    events = merged["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert [(m["pid"], m["args"]["name"]) for m in meta] == [(0, "NEVER"), (1, "ESYNC")]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {(s["pid"], s["name"]) for s in spans} == {(0, "x"), (1, "y")}

@@ -85,6 +85,106 @@ def test_policies_derived_from_registry():
         assert make_policy(name) is not None
 
 
+def test_simulate_json_output(capsys):
+    assert main(["simulate", "sc", "--scale", "tiny", "-n", "4", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["workload"] == "sc"
+    assert payload["stages"] == 4
+    assert payload["stats"]["cycles"] > 0
+    assert set(payload["stats"]["breakdown"]) == {"nn", "ny", "yn", "yy"}
+
+
+def test_simulate_writes_metrics_and_trace_events(capsys, tmp_path):
+    metrics_path = tmp_path / "m.json"
+    trace_path = tmp_path / "t.json"
+    assert main([
+        "simulate", "sc", "--scale", "tiny", "--policy", "esync", "-n", "4",
+        "--metrics", str(metrics_path), "--trace-events", str(trace_path),
+    ]) == 0
+    capsys.readouterr()
+
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["series"]["mdpt.occupancy"]
+    assert metrics["series"]["mdst.occupancy"]
+    assert metrics["histograms"]["load.wait_cycles"]["count"] > 0
+    assert metrics["gauges"]["sim.cycles"] > 0
+
+    trace = json.loads(trace_path.read_text())
+    events = trace["traceEvents"]
+    assert isinstance(events, list) and events
+    for event in events:
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+    assert any(e["ph"] == "X" for e in events)
+
+
+def test_compare_json_and_merged_trace(capsys, tmp_path):
+    metrics_path = tmp_path / "m.json"
+    trace_path = tmp_path / "t.json"
+    assert main([
+        "compare", "xlisp", "--scale", "tiny", "-n", "4", "--json",
+        "--metrics", str(metrics_path), "--trace-events", str(trace_path),
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["policies"]) == set(POLICIES)
+    assert payload["policies"]["never"]["speedup_vs_never"] == 0.0
+    for summary in payload["policies"].values():
+        assert "cycles" in summary
+
+    metrics = json.loads(metrics_path.read_text())
+    assert set(metrics) == set(POLICIES)
+    trace = json.loads(trace_path.read_text())
+    pids = {e["pid"] for e in trace["traceEvents"]}
+    assert len(pids) == len(POLICIES)  # one trace process per policy
+
+
+def test_experiment_json_output(capsys):
+    assert main(["experiment", "table2", "--json"]) == 0
+    (payload,) = json.loads(capsys.readouterr().out)
+    assert payload["experiment"] == "table2"
+    assert payload["columns"]
+    assert payload["rows"]
+    assert "experiment:table2" in payload["profile"]
+
+
+def test_experiment_profile_exports(capsys, tmp_path):
+    metrics_path = tmp_path / "m.json"
+    trace_path = tmp_path / "t.json"
+    assert main([
+        "experiment", "table4", "--scale", "tiny",
+        "--metrics", str(metrics_path), "--trace-events", str(trace_path),
+    ]) == 0
+    capsys.readouterr()
+    profile = json.loads(metrics_path.read_text())["profile"]
+    assert "experiment:table4" in profile
+    trace = json.loads(trace_path.read_text())
+    assert any(
+        e["ph"] == "X" and e["name"] == "experiment:table4"
+        for e in trace["traceEvents"]
+    )
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "sc", "--scale", "tiny", "-n", "4", "--repeat", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "trace-gen" in out
+    assert "simulate" in out
+    assert "IPC" in out
+
+
+def test_profile_command_json(capsys, tmp_path):
+    trace_path = tmp_path / "t.json"
+    assert main([
+        "profile", "sc", "--scale", "tiny", "-n", "4", "--json",
+        "--trace-events", str(trace_path),
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["profile"]["simulate"]["calls"] == 1
+    assert payload["profile"]["total"]["seconds"] >= payload["profile"]["simulate"]["seconds"]
+    assert payload["stats"]["cycles"] > 0
+    names = {e["name"] for e in json.loads(trace_path.read_text())["traceEvents"]}
+    assert {"total", "trace-gen", "simulate"} <= names
+
+
 def test_staticdep_command_on_workload(capsys):
     assert main(["staticdep", "micro-recurrence-d1", "--scale", "tiny"]) == 0
     out = capsys.readouterr().out
