@@ -1,0 +1,43 @@
+# A prefix-sum over an interleaved record stream: memory holds
+# (sample, running-sum) pairs, and every iteration reads its sample,
+# adds it to the sum stored by the previous task, and writes its own
+# sum.  The two memory streams exercise the extreme verdicts of the
+# symbolic alias classifier (`repro staticdep ... --symbolic`):
+#
+#   * the sum load at `lw t1, -4(s1)` MUST-alias the sum store of the
+#     previous iteration at a proven dependence distance of 1: the
+#     `sync_static_primed` policy pre-installs exactly this pair in
+#     the MDPT, so even the first dynamic instance synchronizes
+#     instead of paying the cold-start squash SYNC pays to learn it.
+#   * the sample load can NEVER alias the sum store: both walk
+#     stride-8 lanes, but samples live at addresses = 0 (mod 8) and
+#     sums at 4 (mod 8) — disjoint congruence classes, so the
+#     classifier deletes the pair from the MDPT's static working set.
+#   * nothing here is merely MAY — compare histogram.s, whose
+#     data-dependent bucket address defeats affine reasoning.
+#
+# Run it with:  python examples/run_assembly.py examples/programs/prefix_sum.s
+# Analyze with: python -m repro staticdep examples/programs/prefix_sum.s --symbolic
+
+.name prefix-sum
+
+# records: (sample, sum) word pairs; sums are filled in by the loop
+.word 0x2000 3 0 1 0 4 0 1 0 5 0 9 0 2 0 6 0
+.word 0x2040 5 0 3 0 5 0 8 0 9 0 7 0 9 0 3 0
+# seed: the "sum" of record -1
+.word 0x1ffc 0
+
+    li   s1, 0x2000        # current record
+    li   s3, 0
+    li   s4, 16
+
+loop:
+    .task                  # one Multiscalar task per record
+    lw   t0, 0(s1)         # sample:  address = 0 (mod 8) -> NO-alias
+    lw   t1, -4(s1)        # prior sum: MUST-alias, distance 1
+    add  t1, t1, t0
+    sw   t1, 4(s1)         # this sum: address = 4 (mod 8)
+    addi s1, s1, 8
+    addi s3, s3, 1
+    blt  s3, s4, loop
+    halt

@@ -6,17 +6,25 @@ Usage (also available as ``python -m repro``)::
     repro trace compress --scale test        # interpret + profile a workload
     repro simulate sc --policy esync -n 8    # one timing simulation
     repro simulate sc --metrics m.json --trace-events t.json  # + telemetry
-    repro compare compress -n 8              # all six policies side by side
+    repro compare compress -n 8              # every policy side by side
     repro experiment table3                  # regenerate a paper table
     repro experiment all --scale tiny        # every table and figure
     repro profile compress                   # where does wall time go?
     repro staticdep compress                 # static pairs vs the oracle
+    repro staticdep compress --symbolic      # MUST/MAY/NO alias verdicts
     repro lint examples/programs/histogram.s # speculation linter
+    repro lint compress --symbolic           # + provable-dependence rules
 
 Most subcommands accept ``--json`` (machine-readable stdout); the
 simulation commands additionally accept ``--metrics FILE`` (metric
 registry dump) and ``--trace-events FILE`` (Chrome trace-event JSON,
 viewable at https://ui.perfetto.dev).
+
+The analysis commands (``staticdep``, ``lint``) share one exit-code
+contract: **0** — analysis ran and found nothing wrong; **1** — the
+analysis itself found problems (lint errors, or a soundness violation
+against the oracle); **2** — usage error (unknown workload, unreadable
+file, unparsable target).
 """
 
 from __future__ import annotations
@@ -115,14 +123,26 @@ def _build_parser() -> argparse.ArgumentParser:
     p_static = sub.add_parser(
         "staticdep",
         help="static dependence analysis, cross-checked against the oracle",
+        description="Static dependence analysis, cross-checked against "
+        "the dynamic oracle. Exit codes: 0 analysis clean, 1 soundness "
+        "violation (a dynamic dependence escaped the static set), "
+        "2 usage error.",
     )
     p_static.add_argument("target", help="workload name or assembly (.s) file")
     p_static.add_argument("--scale", default="test")
     p_static.add_argument("--top", type=int, default=5, help="pairs to display")
+    p_static.add_argument(
+        "--symbolic", action="store_true",
+        help="refine candidate pairs with the symbolic affine classifier "
+        "(MUST/MAY/NO verdicts, static dependence distances, primable set)",
+    )
     p_static.add_argument("--json", action="store_true", dest="as_json")
 
     p_lint = sub.add_parser(
-        "lint", help="run the speculation linter over a program"
+        "lint", help="run the speculation linter over a program",
+        description="Speculation linter. Exit codes: 0 no errors "
+        "(warnings/infos allowed), 1 at least one error-severity "
+        "finding, 2 usage error.",
     )
     p_lint.add_argument("target", help="workload name or assembly (.s) file")
     p_lint.add_argument("--scale", default="test")
@@ -133,6 +153,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--mdst", type=int, default=None, metavar="ENTRIES",
         help="MDST capacity to check (default: unchecked)",
+    )
+    p_lint.add_argument(
+        "--symbolic", action="store_true",
+        help="lint against the symbolic classifier's refined pair set and "
+        "enable the must-alias-pair / dist-over-mdst rules",
     )
     p_lint.add_argument("--json", action="store_true", dest="as_json")
     return parser
@@ -384,14 +409,21 @@ def cmd_profile(args) -> int:
 
 
 def cmd_staticdep(args) -> int:
-    from repro.staticdep import analyze_program, cross_check
+    from repro.staticdep import (
+        analyze_program,
+        analyze_program_symbolic,
+        cross_check,
+    )
 
     try:
         program = _load_program(args.target, args.scale)
     except Exception as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
-    analysis = analyze_program(program)
+    if args.symbolic:
+        analysis = analyze_program_symbolic(program)
+    else:
+        analysis = analyze_program(program)
     result = cross_check(run_program(program), analysis)
     if args.as_json:
         payload = dict(analysis.summary())
@@ -407,10 +439,60 @@ def cmd_staticdep(args) -> int:
             }
             for p in analysis.pairs
         ]
+        if args.symbolic:
+            payload["classified"] = [
+                {
+                    "store_pc": p.store_pc,
+                    "load_pc": p.load_pc,
+                    "verdict": p.verdict,
+                    "lag": p.lag,
+                    "static_distance": p.static_distance,
+                    "store_addr": str(p.store_addr),
+                    "load_addr": str(p.load_addr),
+                }
+                for p in analysis.classified
+            ]
+            payload["primable"] = [
+                {"store_pc": s, "load_pc": l, "distance": d}
+                for s, l, d in analysis.primable()
+            ]
         print(json.dumps(payload, indent=2))
-        return 0
+        return 0 if result.sound else 1
     print("static analysis:", analysis.summary())
     print("vs dynamic oracle:", result.summary())
+    if args.symbolic:
+        shown_classified = sorted(
+            analysis.classified,
+            key=lambda p: (p.verdict != "must", p.store_pc, p.load_pc),
+        )[: args.top]
+        if shown_classified:
+            print("\nsymbolic verdicts (MUST first):")
+            print(
+                "%-10s %-10s %-7s %5s %9s  %-16s %-16s"
+                % ("store PC", "load PC", "verdict", "lag", "distance",
+                   "store addr", "load addr")
+            )
+            for p in shown_classified:
+                print(
+                    "%-10d %-10d %-7s %5s %9s  %-16s %-16s"
+                    % (
+                        p.store_pc,
+                        p.load_pc,
+                        p.verdict.upper(),
+                        "?" if p.lag is None else p.lag,
+                        "?" if p.static_distance is None else p.static_distance,
+                        p.store_addr,
+                        p.load_addr,
+                    )
+                )
+        primable = analysis.primable()
+        if primable:
+            print(
+                "primable (MDPT pre-install): "
+                + ", ".join(
+                    "(store %d, load %d, dist %d)" % t for t in primable
+                )
+            )
     shown = sorted(
         analysis.pairs,
         key=lambda p: (p.pair not in result.dynamic_pairs, p.store_pc, p.load_pc),
@@ -449,16 +531,23 @@ def cmd_lint(args) -> int:
     try:
         if _is_assembly_path(args.target):
             diagnostics = lint_path(
-                args.target, mdpt_capacity=args.mdpt, mdst_capacity=args.mdst
+                args.target,
+                mdpt_capacity=args.mdpt,
+                mdst_capacity=args.mdst,
+                symbolic=args.symbolic,
             )
             name = args.target
         else:
             program = get_workload(args.target).program(args.scale)
             diagnostics = lint_program(
-                program, mdpt_capacity=args.mdpt, mdst_capacity=args.mdst
+                program,
+                mdpt_capacity=args.mdpt,
+                mdst_capacity=args.mdst,
+                symbolic=args.symbolic,
             )
             name = program.name
-    except OSError as exc:
+    except Exception as exc:
+        # unknown workload, unreadable file, bad scale, ... -> usage error
         print("error: %s" % exc, file=sys.stderr)
         return 2
     if args.as_json:

@@ -54,6 +54,7 @@ class MDPT:
         self._clock = 0
         self.allocations = 0
         self.evictions = 0
+        self.primed = 0
 
     def __len__(self):
         return len(self._by_pair)
@@ -81,15 +82,7 @@ class MDPT:
         self.evictions += 1
         return victim
 
-    def record_mis_speculation(
-        self, store_pc, load_pc, distance, store_task_pc=None
-    ) -> MDPTEntry:
-        """Allocate or strengthen the entry for a mis-speculated pair.
-
-        The DIST field records the instance-number difference observed
-        at the mis-speculation; repeated mis-speculations refresh it
-        (the dependence distance may drift, e.g. across loop phases).
-        """
+    def _allocate_or_refresh(self, store_pc, load_pc, distance) -> MDPTEntry:
         entry = self._by_pair.get((store_pc, load_pc))
         if entry is None:
             if len(self._by_pair) >= self.capacity:
@@ -109,7 +102,34 @@ class MDPT:
         else:
             entry.distance = distance
             self._touch(entry)
+        return entry
+
+    def record_mis_speculation(
+        self, store_pc, load_pc, distance, store_task_pc=None
+    ) -> MDPTEntry:
+        """Allocate or strengthen the entry for a mis-speculated pair.
+
+        The DIST field records the instance-number difference observed
+        at the mis-speculation; repeated mis-speculations refresh it
+        (the dependence distance may drift, e.g. across loop phases).
+        """
+        entry = self._allocate_or_refresh(store_pc, load_pc, distance)
         self.predictor.on_mis_speculation(entry.state, store_task_pc)
+        return entry
+
+    def install(self, store_pc, load_pc, distance) -> MDPTEntry:
+        """Pre-install an entry without observing a mis-speculation.
+
+        This is the static-priming entry point: a compile-time analysis
+        that *proves* a (store, load) pair aliases at a known dependence
+        distance can seed the table before the first dynamic instruction,
+        so the pair synchronizes from its very first encounter instead of
+        paying one cold-start squash to learn it.  Predictor state starts
+        at its usual allocation value (at or above threshold), but no
+        mis-speculation event is recorded.
+        """
+        entry = self._allocate_or_refresh(store_pc, load_pc, distance)
+        self.primed += 1
         return entry
 
     def lookup_load(self, load_pc) -> List[MDPTEntry]:

@@ -7,7 +7,7 @@ from repro.experiments.figures import (
     figure7_spec95_speedups,
 )
 from repro.experiments.results import ExperimentTable
-from repro.experiments.staticdep import staticdep_coverage
+from repro.experiments.staticdep import staticdep_coverage, staticdep_symbolic
 from repro.telemetry import PROFILER
 from repro.experiments.sweeps import SweepPoint, SweepResult, sweep
 from repro.experiments.tables import (
@@ -76,6 +76,7 @@ ALL_EXPERIMENTS = {
         "figure7": figure7_spec95_speedups,
         "window-scaling": extension_window_scaling,
         "staticdep": staticdep_coverage,
+        "staticdep-symbolic": staticdep_symbolic,
     }.items()
 }
 
@@ -87,6 +88,7 @@ __all__ = [
     "SweepResult",
     "extension_window_scaling",
     "staticdep_coverage",
+    "staticdep_symbolic",
     "sweep",
     "table2_fu_latencies",
     "figure5_policy_speedups",

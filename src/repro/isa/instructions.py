@@ -57,19 +57,19 @@ class Instruction:
         return OPCODE_CLASS[self.op]
 
     @property
-    def is_load(self):
+    def is_load(self) -> bool:
         return is_load(self.op)
 
     @property
-    def is_store(self):
+    def is_store(self) -> bool:
         return is_store(self.op)
 
     @property
-    def is_memory(self):
+    def is_memory(self) -> bool:
         return is_load(self.op) or is_store(self.op)
 
     @property
-    def is_branch(self):
+    def is_branch(self) -> bool:
         return is_conditional_branch(self.op)
 
     def sources(self):

@@ -14,6 +14,7 @@ from repro.multiscalar.policies import (
     NeverPolicy,
     PerfectSyncPolicy,
     SpeculationPolicy,
+    StaticPrimedSyncPolicy,
     StoreSetPolicy,
     ValueSyncPolicy,
     WaitPolicy,
@@ -40,6 +41,7 @@ __all__ = [
     "ReturnAddressStack",
     "SimulationError",
     "SpeculationPolicy",
+    "StaticPrimedSyncPolicy",
     "StoreSetPolicy",
     "TimelineRecorder",
     "ValueSyncPolicy",

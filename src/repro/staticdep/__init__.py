@@ -6,10 +6,19 @@ program text alone: a CFG builder (:mod:`repro.staticdep.cfg`), a
 conservative reaching-stores dataflow producing the static candidate
 pair set (:mod:`repro.staticdep.reaching`), a cross-checker that scores
 that set against the dynamic oracle (:mod:`repro.staticdep.checker`),
-and a diagnostics engine (:mod:`repro.staticdep.lint`).
+a symbolic affine abstract interpreter that sharpens the candidate set
+into MUST / MAY / NO alias verdicts with static dependence distances
+(:mod:`repro.staticdep.symbolic`), and a diagnostics engine
+(:mod:`repro.staticdep.lint`).
 """
 
-from repro.staticdep.analysis import StaticDependenceAnalysis, analyze_program
+from repro.staticdep.analysis import (
+    StaticDependenceAnalysis,
+    SymbolicDependenceAnalysis,
+    SymbolicPair,
+    analyze_program,
+    analyze_program_symbolic,
+)
 from repro.staticdep.cfg import BasicBlock, ControlFlowGraph, build_cfg
 from repro.staticdep.checker import (
     CrossCheckResult,
@@ -38,9 +47,26 @@ from repro.staticdep.reaching import (
     access_expr,
     may_alias,
 )
+from repro.staticdep.symbolic import (
+    MAY,
+    MUST,
+    NO,
+    SymbolicSolution,
+    SymValue,
+    classify_addresses,
+)
 
 __all__ = [
     "AccessExpr",
+    "MAY",
+    "MUST",
+    "NO",
+    "SymValue",
+    "SymbolicDependenceAnalysis",
+    "SymbolicPair",
+    "SymbolicSolution",
+    "analyze_program_symbolic",
+    "classify_addresses",
     "BasicBlock",
     "ControlFlowGraph",
     "CrossCheckResult",

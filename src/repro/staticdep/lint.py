@@ -23,13 +23,21 @@ rule id                severity  finding
 ``dead-store``         warning   a store provably observed by no load
 ``mdpt-undersized``    warning   the MDPT cannot hold the program's static pair set
 ``mdst-undersized``    warning   the MDST cannot hold the in-flight pair instances
+``must-alias-pair``    warning   a cross-task pair provably aliases; blind speculation
+                                 on it squashes every time (symbolic mode only)
+``dist-over-mdst``     warning   a proven dependence distance exceeds the MDST
+                                 capacity (symbolic mode only)
 ``no-task-marker``     info      the program defines no Multiscalar tasks
 =====================  ========  ==================================================
 
 Entry points: :func:`lint_program` for assembled programs,
 :func:`lint_source` for assembly text (adds the source-level label
 rules that cannot survive assembly), and :func:`lint_config` for
-speculation-hardware capacity checks.
+speculation-hardware capacity checks.  Passing ``symbolic=True`` to the
+program/source/path entry points swaps the one-bit reaching analysis
+for the symbolic affine classifier: the shared rules (notably
+``dead-store``) run on the refined pair set, and the two symbolic-only
+rules above are enabled.
 """
 
 from __future__ import annotations
@@ -41,7 +49,12 @@ from typing import Dict, List, Optional, Sequence, Set
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Program, ProgramError
 from repro.isa.registers import ZERO, register_name
-from repro.staticdep.analysis import StaticDependenceAnalysis, analyze_program
+from repro.staticdep.analysis import (
+    StaticDependenceAnalysis,
+    SymbolicDependenceAnalysis,
+    analyze_program,
+    analyze_program_symbolic,
+)
 
 ERROR = "error"
 WARNING = "warning"
@@ -223,18 +236,84 @@ _PROGRAM_RULES = (
 )
 
 
+# ---------------------------------------------------------------------------
+# symbolic-only rules (need the MUST/MAY/NO classification)
+# ---------------------------------------------------------------------------
+
+
+def _rule_must_alias_pairs(
+    analysis: SymbolicDependenceAnalysis,
+) -> List[Diagnostic]:
+    """Flag proven cross-task dependences: the pair aliases on every
+    execution, so speculating the load blindly squashes every time its
+    producer is still in flight.  These are exactly the pairs worth
+    synchronizing (or pre-installing in the MDPT)."""
+    out = []
+    for pair in analysis.must_pairs():
+        if pair.static_distance is None or pair.static_distance < 1:
+            continue
+        out.append(
+            Diagnostic(
+                WARNING,
+                "must-alias-pair",
+                pair.load_pc,
+                "load at pc %d provably depends on store at pc %d from "
+                "%d task(s) earlier; blind speculation mis-speculates on "
+                "every instance" % (pair.load_pc, pair.store_pc, pair.static_distance),
+            )
+        )
+    return out
+
+
+def _rule_distance_over_mdst(
+    analysis: SymbolicDependenceAnalysis, mdst_capacity: int
+) -> List[Diagnostic]:
+    """Flag proven distances the MDST cannot track: a dependence at
+    distance *d* keeps up to *d* dynamic instances of the pair pending
+    at once, so a distance beyond the MDST capacity overflows its
+    synchronization slots and degrades back to squash-and-replay."""
+    out = []
+    for pair in analysis.must_pairs():
+        if pair.static_distance is None or pair.static_distance <= mdst_capacity:
+            continue
+        out.append(
+            Diagnostic(
+                WARNING,
+                "dist-over-mdst",
+                pair.load_pc,
+                "pair (store pc %d, load pc %d) has proven dependence "
+                "distance %d, above the MDST capacity %d; its instances "
+                "cannot all synchronize"
+                % (pair.store_pc, pair.load_pc, pair.static_distance, mdst_capacity),
+            )
+        )
+    return out
+
+
 def lint_program(
     program: Program,
     analysis: Optional[StaticDependenceAnalysis] = None,
     mdpt_capacity: Optional[int] = None,
     mdst_capacity: Optional[int] = None,
+    symbolic: bool = False,
 ) -> List[Diagnostic]:
-    """Run every program-level rule; optionally the capacity rules too."""
+    """Run every program-level rule; optionally the capacity rules too.
+
+    With ``symbolic=True`` the shared rules consume the symbolic
+    classifier's refined pair set and the symbolic-only rules
+    (``must-alias-pair``, ``dist-over-mdst``) are enabled.
+    """
     if analysis is None:
-        analysis = analyze_program(program)
+        analysis = (
+            analyze_program_symbolic(program) if symbolic else analyze_program(program)
+        )
     diagnostics: List[Diagnostic] = []
     for rule in _PROGRAM_RULES:
         diagnostics.extend(rule(analysis))
+    if isinstance(analysis, SymbolicDependenceAnalysis):
+        diagnostics.extend(_rule_must_alias_pairs(analysis))
+        if mdst_capacity is not None:
+            diagnostics.extend(_rule_distance_over_mdst(analysis, mdst_capacity))
     if mdpt_capacity is not None or mdst_capacity is not None:
         diagnostics.extend(
             lint_config(
@@ -353,6 +432,7 @@ def lint_source(
     name: str = "program",
     mdpt_capacity: Optional[int] = None,
     mdst_capacity: Optional[int] = None,
+    symbolic: bool = False,
 ) -> List[Diagnostic]:
     """Lint assembly text: label rules, then (when it assembles) every
     program rule.  A source that fails to assemble for a reason the
@@ -368,7 +448,10 @@ def lint_source(
         return sort_diagnostics(diagnostics)
     diagnostics.extend(
         lint_program(
-            program, mdpt_capacity=mdpt_capacity, mdst_capacity=mdst_capacity
+            program,
+            mdpt_capacity=mdpt_capacity,
+            mdst_capacity=mdst_capacity,
+            symbolic=symbolic,
         )
     )
     return sort_diagnostics(diagnostics)
@@ -378,10 +461,15 @@ def lint_path(
     path: str,
     mdpt_capacity: Optional[int] = None,
     mdst_capacity: Optional[int] = None,
+    symbolic: bool = False,
 ) -> List[Diagnostic]:
     """Lint an assembly source file."""
     with open(path) as fh:
         source = fh.read()
     return lint_source(
-        source, name=path, mdpt_capacity=mdpt_capacity, mdst_capacity=mdst_capacity
+        source,
+        name=path,
+        mdpt_capacity=mdpt_capacity,
+        mdst_capacity=mdst_capacity,
+        symbolic=symbolic,
     )

@@ -39,8 +39,27 @@ def fig6():
 def test_registry_is_complete():
     expected = {"table%d" % i for i in (1, 2, 3, 4, 5, 6, 7, 8, 9)}
     expected |= {"figure%d" % i for i in (5, 6, 7)}
-    expected |= {"window-scaling", "staticdep"}
+    expected |= {"window-scaling", "staticdep", "staticdep-symbolic"}
     assert set(ALL_EXPERIMENTS) == expected
+
+
+def test_staticdep_symbolic_experiment():
+    from repro.experiments import staticdep_symbolic
+
+    table = staticdep_symbolic(SCALE, suites=("micro",))
+    lattice = table.column("prec(lattice)")
+    symbolic = table.column("prec(symbolic)")
+    # NO verdicts are proofs: precision never drops, recall never dips
+    assert all(s >= l for l, s in zip(lattice, symbolic))
+    assert all(r == 1.0 for r in table.column("recall"))
+    # statically inferred distances agree with what the MDPT would
+    # learn on every micro workload that has provable pairs
+    matches = [m for m in table.column("dist match") if m != "-"]
+    assert matches and all(m >= 0.8 for m in matches)
+    # priming only ever removes cold-start squashes
+    avoided = table.column("avoided")
+    assert all(a >= 0 for a in avoided)
+    assert sum(avoided) >= 1
 
 
 def test_table2_renders_configuration():

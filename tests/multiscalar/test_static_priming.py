@@ -1,0 +1,86 @@
+"""Tests for the statically-primed SYNC policy (`sync_static_primed`).
+
+The policy seeds the MDPT from the symbolic classifier's proven MUST
+pairs before the first dynamic instruction, so always-executing
+recurrences synchronize from their very first encounter instead of
+paying one cold-start squash to learn the dependence.
+"""
+
+import pytest
+
+from repro.multiscalar import MultiscalarConfig, make_policy
+from repro.multiscalar.policies import StaticPrimedSyncPolicy
+from repro.multiscalar.processor import simulate
+from repro.workloads import get_workload, suite
+
+
+def _run(name, policy_name, scale="test", stages=4):
+    trace = get_workload(name).trace(scale)
+    policy = make_policy(policy_name)
+    stats = simulate(trace, MultiscalarConfig(stages=stages), policy)
+    return stats, policy
+
+
+def test_factory_builds_primed_policy():
+    policy = make_policy("sync_static_primed")
+    assert isinstance(policy, StaticPrimedSyncPolicy)
+    assert policy.name == "PRIMED"
+
+
+def test_priming_installs_entries_before_first_instruction():
+    _, policy = _run("micro-recurrence-d1", "sync_static_primed")
+    assert policy.primed_pairs == 1
+    entry = policy.engine.mdpt.get(11, 8)
+    assert entry is not None
+    assert entry.distance == 1
+    assert policy.engine.mdpt.primed == 1
+
+
+def test_priming_removes_cold_start_squash():
+    sync, _ = _run("micro-recurrence-d1", "sync")
+    primed, _ = _run("micro-recurrence-d1", "sync_static_primed")
+    assert sync.mis_speculations == 1  # the one squash SYNC pays to learn
+    assert primed.mis_speculations == 0
+
+
+@pytest.mark.parametrize(
+    "name",
+    [w.name for w in suite("micro")] + ["compress", "espresso"],
+)
+def test_priming_never_adds_mis_speculations(name):
+    sync, _ = _run(name, "sync")
+    primed, _ = _run(name, "sync_static_primed")
+    assert primed.mis_speculations <= sync.mis_speculations
+
+
+def test_conditional_producers_are_not_primed():
+    # both multi-producer stores are parity-conditional; priming them
+    # would penalize the counters on every wrong-parity iteration
+    _, policy = _run("micro-multi-producer", "sync_static_primed")
+    assert policy.primed_pairs == 0
+
+
+def test_beyond_window_distances_are_not_primed():
+    # micro-independent's MUST pair has a distance far past the task
+    # window: both instructions can never be in flight together, so
+    # there is nothing to synchronize
+    _, policy = _run("micro-independent", "sync_static_primed", stages=4)
+    assert policy.primed_pairs == 0
+
+
+def test_primed_gauge_in_telemetry():
+    from repro.multiscalar import MultiscalarSimulator
+    from repro.telemetry import make_telemetry
+
+    trace = get_workload("micro-recurrence-d1").trace("test")
+    telemetry = make_telemetry()
+    sim = MultiscalarSimulator(
+        trace,
+        MultiscalarConfig(stages=4),
+        make_policy("sync_static_primed"),
+        telemetry=telemetry,
+    )
+    sim.run()
+    payload = telemetry.metrics.to_dict()
+    gauges = payload.get("gauges", payload)
+    assert any("primed" in str(key) for key in gauges)

@@ -80,6 +80,37 @@ def test_observed_store_not_flagged_dead():
     assert "dead-store" not in rules_of(lint_program(program))
 
 
+def test_store_escaping_across_task_boundary_not_flagged_dead():
+    # regression: the reaching analysis is whole-program, with no kill
+    # at task boundaries, so a store whose only observer lives in a
+    # later task must stay live (in both lattice and symbolic modes)
+    a = Assembler("escape")
+    a.task_begin()
+    a.li("s1", 0x1000)
+    a.sw("s1", "s1", 0)
+    a.task_begin()
+    a.lw("t0", "s1", 0)
+    a.halt()
+    program = a.assemble()
+    assert "dead-store" not in rules_of(lint_program(program))
+    assert "dead-store" not in rules_of(lint_program(program, symbolic=True))
+
+
+def test_symbolic_mode_proves_more_stores_dead():
+    # the store's only reaching consumer reads a provably different
+    # address: live under the one-bit lattice, dead under the classifier
+    a = Assembler("noalias")
+    a.task_begin()
+    a.li("s1", 0x1000)
+    a.li("s2", 0x2000)
+    a.sw("s1", "s1", 0)
+    a.lw("t0", "s2", 0)
+    a.halt()
+    program = a.assemble()
+    assert "dead-store" not in rules_of(lint_program(program))
+    assert "dead-store" in rules_of(lint_program(program, symbolic=True))
+
+
 def test_no_task_marker_rule_is_info():
     program = minimal(lambda a: a.nop())
     diags = [d for d in lint_program(program) if d.rule_id == "no-task-marker"]
@@ -109,6 +140,54 @@ def test_mdst_capacity_rule():
     analysis = analyze_program(program)
     diags = lint_config(analysis, mdst_capacity=0)
     assert rules_of(diags) == {"mdst-undersized"}
+
+
+def _recurrence_program():
+    """One unconditional cross-task recurrence (proven MUST, distance 1)."""
+    a = Assembler("rec")
+    a.li("s1", 0x1000)
+    a.li("t3", 0)
+    a.li("t4", 8)
+    a.label("loop")
+    a.task_begin()
+    a.lw("t0", "s1", 0)
+    a.addi("t0", "t0", 1)
+    a.sw("t0", "s1", 0)
+    a.addi("t3", "t3", 1)
+    a.blt("t3", "t4", "loop")
+    a.halt()
+    return a.assemble()
+
+
+def test_must_alias_pair_rule_requires_symbolic_mode():
+    program = _recurrence_program()
+    assert "must-alias-pair" not in rules_of(lint_program(program))
+    diags = [
+        d
+        for d in lint_program(program, symbolic=True)
+        if d.rule_id == "must-alias-pair"
+    ]
+    assert len(diags) == 1 and diags[0].severity == "warning"
+    assert "provably depends" in diags[0].message
+
+
+def test_dist_over_mdst_rule():
+    program = _recurrence_program()
+    # proven distance 1: fine at capacity 1, flagged at capacity 0
+    ok = lint_program(program, symbolic=True, mdst_capacity=1)
+    assert "dist-over-mdst" not in rules_of(ok)
+    over = lint_program(program, symbolic=True, mdst_capacity=0)
+    diags = [d for d in over if d.rule_id == "dist-over-mdst"]
+    assert len(diags) == 1 and diags[0].severity == "warning"
+    # the rule needs the symbolic verdicts: silent in lattice mode
+    assert "dist-over-mdst" not in rules_of(
+        lint_program(program, mdst_capacity=0)
+    )
+
+
+def test_symbolic_warnings_do_not_flip_exit_semantics():
+    diags = lint_program(_recurrence_program(), symbolic=True)
+    assert not has_errors(diags)
 
 
 def test_duplicate_label_rule():

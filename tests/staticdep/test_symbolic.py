@@ -1,0 +1,290 @@
+"""Tests for the symbolic affine alias classifier.
+
+Three layers: the abstract domain (values, join/widen, transfer
+helpers), whole-program solutions on hand-built loops, and the refined
+analysis against the dynamic oracle.
+"""
+
+import pytest
+
+from repro.frontend import run_program
+from repro.isa import Assembler
+from repro.staticdep import (
+    MAY,
+    MUST,
+    NO,
+    SymbolicSolution,
+    analyze_program,
+    analyze_program_symbolic,
+    classify_addresses,
+    cross_check,
+)
+from repro.staticdep.symbolic import (
+    collapse,
+    join,
+    make_const,
+    make_linear,
+    make_periodic,
+    make_range,
+    widen,
+)
+from repro.workloads import get_workload
+
+
+# ---------------------------------------------------------------------------
+# domain
+# ---------------------------------------------------------------------------
+
+
+def test_const_value_shape():
+    v = make_const(12)
+    assert v.is_const and v.is_concrete_const
+    assert v.base == 12 and v.stride == 0
+
+    s = make_const(4, sym=9)
+    assert s.is_const and not s.is_concrete_const
+
+
+def test_linear_zero_stride_is_const():
+    assert make_linear(8, 0, loop=1).is_const
+
+
+def test_join_of_equal_values_is_identity():
+    v = make_linear(4, 8, loop=2)
+    assert join(v, v) == v
+
+
+def test_join_of_two_consts_keeps_congruence_and_bounds():
+    j = join(make_const(4), make_const(12))
+    c = collapse(j)
+    assert c.lo == 4 and c.hi == 12
+    assert c.stride == 8 and c.base == 4
+
+
+def test_join_of_distinct_symbols_is_top():
+    assert join(make_const(0, sym=1), make_const(0, sym=2)).is_top
+
+
+def test_widen_detects_induction_variable():
+    # constant 100 entering the loop, 104 coming back around: stride 4
+    w = widen(make_const(100), make_const(104), loop=1)
+    assert w.exact and w.stride == 4 and w.base == 100 and w.loop == 1
+    # a second trip at the same stride is a fixpoint
+    assert widen(w, make_linear(104, 4, loop=1), loop=1) == w
+
+
+def test_widen_demotes_changed_stride_to_congruence():
+    w = widen(make_const(100), make_const(104), loop=1)
+    again = widen(w, make_linear(106, 4, loop=1), loop=1)
+    assert not again.exact
+    assert again.stride in (1, 2)  # gcd absorbs the 6-vs-4 disagreement
+
+
+# ---------------------------------------------------------------------------
+# classification
+# ---------------------------------------------------------------------------
+
+
+def test_classify_disjoint_intervals_is_no():
+    a = make_range(0, 4, lo=0, hi=96)
+    b = make_range(0, 4, lo=200, hi=296)
+    assert classify_addresses(a, b, intra_path=True).verdict == NO
+
+
+def test_classify_disjoint_congruences_is_no():
+    even = make_range(0, 8, lo=None, hi=None)
+    odd = make_range(4, 8, lo=None, hi=None)
+    assert classify_addresses(even, odd, intra_path=True).verdict == NO
+
+
+def test_classify_same_constant_is_must():
+    cls = classify_addresses(make_const(4096), make_const(4096), intra_path=True)
+    assert cls.verdict == MUST and cls.lag == 0
+
+
+def test_classify_linear_pair_solves_lag():
+    store = make_linear(4104, 4, loop=1)  # writes a[i]
+    load = make_linear(4096, 4, loop=1)  # reads a[i-2]: written 2 trips ago
+    cls = classify_addresses(store, load, intra_path=True)
+    assert cls.verdict == MUST and cls.lag == 2
+
+
+def test_classify_load_ahead_of_store_is_no():
+    # the load visits each address before the store ever writes it, so
+    # no value flows between them
+    store = make_linear(4096, 4, loop=1)
+    load = make_linear(4104, 4, loop=1)
+    assert classify_addresses(store, load, intra_path=True).verdict == NO
+
+
+def test_classify_distinct_symbols_is_may():
+    a = make_const(0, sym=5)
+    b = make_const(0, sym=6)
+    assert classify_addresses(a, b, intra_path=True).verdict == MAY
+
+
+def test_classify_periodic_same_shape():
+    # both walk 4096 + 4*((i) % 4): identical phase -> lag 0
+    a = make_periodic(4096, 4, mod=4, pbase=0, pstep=1, loop=1)
+    cls = classify_addresses(a, a, intra_path=True)
+    assert cls.verdict == MUST and cls.lag == 0
+
+
+# ---------------------------------------------------------------------------
+# whole-program solutions
+# ---------------------------------------------------------------------------
+
+
+def _strided_loop(load_back):
+    """One-task-per-iteration loop: store a[i], load a[i - load_back]."""
+    a = Assembler("strided")
+    a.li("s1", 4096)
+    a.li("t3", 0)
+    a.li("t4", 32)
+    a.label("loop")
+    a.task_begin()
+    a.lw("t0", "s1", -4 * load_back)
+    a.addi("t0", "t0", 1)
+    a.sw("t0", "s1", 0)
+    a.addi("s1", "s1", 4)
+    a.addi("t3", "t3", 1)
+    a.blt("t3", "t4", "loop")
+    a.halt()
+    return a.assemble()
+
+
+def test_solution_finds_induction_variable():
+    program = _strided_loop(load_back=1)
+    solution = SymbolicSolution(program)
+    store_pc = program.static_stores()[0]
+    value = solution.address_value(store_pc)
+    assert value.exact and value.stride == 4
+
+
+def test_recurrence_program_is_must_with_distance():
+    program = _strided_loop(load_back=1)
+    analysis = analyze_program_symbolic(program)
+    must = analysis.must_pairs()
+    assert len(must) == 1
+    assert must[0].lag == 1
+    assert must[0].static_distance == 1
+
+
+def test_disjoint_regions_prove_no_alias():
+    a = Assembler("disjoint")
+    a.li("s1", 4096)
+    a.li("s2", 8192)
+    a.li("t3", 0)
+    a.li("t4", 16)
+    a.label("loop")
+    a.task_begin()
+    a.sw("t3", "s1", 0)
+    a.lw("t0", "s2", 0)
+    a.addi("s1", "s1", 4)
+    a.addi("s2", "s2", 4)
+    a.addi("t3", "t3", 1)
+    a.blt("t3", "t4", "loop")
+    a.halt()
+    program = a.assemble()
+    lattice = analyze_program(program)
+    symbolic = analyze_program_symbolic(program)
+    # the one-bit lattice keeps the pair; the classifier proves it away
+    assert len(lattice.pairs) == 1
+    assert len(symbolic.pairs) == 0
+    assert symbolic.verdict_counts()[NO] == 1
+
+
+def test_dominators_and_every_iteration():
+    a = Assembler("cond")
+    a.li("s1", 4096)
+    a.li("t3", 0)
+    a.li("t4", 16)
+    a.label("loop")
+    a.task_begin()
+    a.andi("t1", "t3", 1)
+    a.beq("t1", "zero", "skip")
+    a.sw("t3", "s1", 0)  # fires on odd iterations only
+    a.label("skip")
+    a.sw("t3", "s1", 4)  # fires every iteration
+    a.addi("t3", "t3", 1)
+    a.blt("t3", "t4", "loop")
+    a.halt()
+    program = a.assemble()
+    solution = SymbolicSolution(program)
+    conditional, unconditional = program.static_stores()
+    assert not solution.executes_every_iteration(conditional)
+    assert solution.executes_every_iteration(unconditional)
+    # straight-line code belongs to no loop at all
+    assert not solution.executes_every_iteration(0)
+
+
+# ---------------------------------------------------------------------------
+# refined analysis vs the oracle
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["compress", "espresso", "micro-path-dependent"])
+def test_refinement_is_sound_and_no_less_precise(name):
+    workload = get_workload(name)
+    program = workload.program("tiny")
+    lattice = analyze_program(program)
+    symbolic = analyze_program_symbolic(program)
+    trace = run_program(program)
+    lattice_check = cross_check(trace, lattice)
+    symbolic_check = cross_check(trace, symbolic)
+    assert symbolic_check.sound
+    assert symbolic_check.recall == 1.0
+    assert symbolic_check.precision >= lattice_check.precision
+    assert len(symbolic.pairs) <= len(lattice.pairs)
+
+
+def test_compress_drops_alias_noise():
+    program = get_workload("compress").program("tiny")
+    symbolic = analyze_program_symbolic(program)
+    counts = symbolic.verdict_counts()
+    assert counts[NO] > 0
+    assert counts[MUST] > 0
+
+
+def test_micro_recurrences_match_learned_distance():
+    for name, distance in (
+        ("micro-recurrence-d1", 1),
+        ("micro-recurrence-d2", 2),
+        ("micro-recurrence-d4", 4),
+    ):
+        analysis = analyze_program_symbolic(get_workload(name).program("test"))
+        must = analysis.must_pairs()
+        assert len(must) == 1, name
+        assert must[0].static_distance == distance, name
+
+
+def test_primable_requires_always_executing_producer():
+    # both multi-producer stores are parity-conditional: priming them
+    # would penalize the predictor on every wrong-parity iteration
+    analysis = analyze_program_symbolic(
+        get_workload("micro-multi-producer").program("test")
+    )
+    assert len(analysis.must_pairs()) == 2
+    assert analysis.primable() == []
+
+
+def test_primable_includes_unconditional_recurrence():
+    analysis = analyze_program_symbolic(
+        get_workload("micro-recurrence-d1").program("test")
+    )
+    (triple,) = analysis.primable()
+    assert triple[2] == 1
+
+
+def test_symbolic_dead_stores_superset_of_lattice():
+    program = _strided_loop(load_back=1)
+    lattice = analyze_program(program)
+    symbolic = analyze_program_symbolic(program)
+    assert set(lattice.dead_stores()) <= set(symbolic.dead_stores())
+
+
+def test_summary_reports_verdict_counts():
+    info = analyze_program_symbolic(_strided_loop(load_back=1)).summary()
+    assert info["must_pairs"] == 1
+    assert info["primable_pairs"] == 1
+    assert "may_pairs" in info and "no_pairs" in info

@@ -1,0 +1,56 @@
+"""Property tests: the symbolic classifier on random programs.
+
+Two invariants over arbitrary generated programs:
+
+1.  **Recall 1.0** — every (store PC, load PC) pair the dynamic oracle
+    observes is in the refined static pair set.  Dropping a real
+    dependence would make MDPT priming (and any tool trusting the
+    analysis) unsound.
+2.  **NO verdicts are proofs** — a pair classified NO-alias never
+    appears in the trace's dependence oracle.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import run_program
+from repro.staticdep import NO, analyze_program_symbolic, cross_check
+from repro.workloads.random_gen import RandomProgramConfig, generate_program
+
+configs = st.builds(
+    RandomProgramConfig,
+    tasks=st.integers(min_value=1, max_value=12),
+    body_ops=st.integers(min_value=0, max_value=6),
+    loads_per_task=st.integers(min_value=0, max_value=3),
+    stores_per_task=st.integers(min_value=0, max_value=3),
+    shared_words=st.integers(min_value=1, max_value=8),
+    branch_probability=st.floats(min_value=0.0, max_value=0.8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=configs)
+def test_symbolic_recall_is_total(config):
+    program = generate_program(config)
+    analysis = analyze_program_symbolic(program)
+    result = cross_check(run_program(program), analysis)
+    assert result.sound, "dynamic pairs escaped the static set: %s" % sorted(
+        result.missed_pairs
+    )
+    assert result.recall == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=configs)
+def test_no_verdicts_never_contradicted_by_trace(config):
+    program = generate_program(config)
+    analysis = analyze_program_symbolic(program)
+    trace = run_program(program)
+    dynamic_pairs = cross_check(trace, analysis).dynamic_pairs
+    for pair in analysis.classified:
+        if pair.verdict == NO:
+            assert pair.pair not in dynamic_pairs, (
+                "pair %r was proven NO-alias but the trace observed it"
+                % (pair.pair,)
+            )

@@ -250,3 +250,58 @@ def test_lint_missing_file(capsys):
 def test_lint_mdpt_capacity_flag(capsys):
     assert main(["lint", HISTOGRAM, "--mdpt", "1"]) == 0
     assert "mdpt-undersized" in capsys.readouterr().out
+
+
+def test_staticdep_symbolic_flag(capsys):
+    assert main(["staticdep", "micro-recurrence-d2", "--symbolic"]) == 0
+    out = capsys.readouterr().out
+    assert "symbolic verdicts" in out
+    assert "MUST" in out
+    assert "primable" in out
+
+
+def test_staticdep_symbolic_json(capsys):
+    assert main(["staticdep", "compress", "--scale", "tiny", "--symbolic", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["sound"] is True
+    verdicts = {c["verdict"] for c in payload["classified"]}
+    assert verdicts <= {"must", "may", "no"}
+    assert payload["must_pairs"] + payload["may_pairs"] + payload["no_pairs"] == len(
+        payload["classified"]
+    )
+    for entry in payload["primable"]:
+        assert entry["distance"] >= 1
+
+
+def test_lint_symbolic_flag(capsys):
+    assert main(["lint", "micro-recurrence-d1", "--symbolic", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    rules = {d["rule"] for d in payload["diagnostics"]}
+    assert "must-alias-pair" in rules
+
+
+# --- the documented exit-code contract: 0 clean / 1 findings / 2 usage ---
+
+
+def test_exit_code_zero_on_clean_target(capsys):
+    assert main(["lint", HISTOGRAM]) == 0
+    assert main(["staticdep", HISTOGRAM]) == 0
+    capsys.readouterr()
+
+
+def test_exit_code_one_on_findings(capsys):
+    assert main(["lint", LINT_DEMO]) == 1
+    assert main(["lint", LINT_DEMO, "--json"]) == 1
+    capsys.readouterr()
+
+
+def test_exit_code_two_on_usage_errors(capsys):
+    # unknown workload name: both commands, both output modes
+    assert main(["lint", "no-such-workload"]) == 2
+    assert main(["staticdep", "no-such-workload"]) == 2
+    assert main(["lint", "no-such-workload", "--json"]) == 2
+    # unreadable file
+    assert main(["lint", "examples/programs/nope.s"]) == 2
+    assert main(["staticdep", "examples/programs/nope.s"]) == 2
+    err = capsys.readouterr().err
+    assert err.count("error:") == 5
