@@ -10,6 +10,13 @@ benchmark's wall time and the key values of the table it produced;
 ``pytest_sessionfinish`` writes the collection to ``BENCH_results.json``
 at the repository root (CI uploads it as a build artifact), giving a
 machine-readable history of both performance and reproduced numbers.
+
+The harness opts into the executor's content-addressed result cache
+(``repro.experiments.executor.ResultCache``): re-running the suite with
+unchanged sources serves every table from ``.repro-bench-cache/`` in
+milliseconds, and each BENCH_results.json record carries ``"cached"``
+so cached timings are never mistaken for simulation timings.  Disable
+with ``REPRO_BENCH_CACHE=0`` (or point it at another directory).
 """
 
 import json
@@ -18,6 +25,17 @@ import time
 from pathlib import Path
 
 import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _bench_cache():
+    setting = os.environ.get("REPRO_BENCH_CACHE", "")
+    if setting in ("0", "off", "no"):
+        return None
+    from repro.experiments.executor import ResultCache
+
+    return ResultCache(setting or str(_REPO_ROOT / ".repro-bench-cache"))
 
 #: scale used by the benchmark harness; "test" keeps a full table under
 #: a couple of minutes while preserving every reported shape
@@ -49,21 +67,47 @@ def _table_summary(result):
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark *fn* with a single round (experiments are deterministic
-    and expensive; statistical repetition adds nothing)."""
+    and expensive; statistical repetition adds nothing).
+
+    Table-shaped results are served from / written to the executor's
+    result cache keyed on (runner, arguments, source fingerprint), so a
+    rerun with unchanged sources measures the cache fetch instead of
+    re-simulating."""
+    from repro.experiments.executor import Cell
+    from repro.experiments.results import ExperimentTable
+
+    cache = _bench_cache()
+    cell = Cell.make(
+        "bench",
+        fn.__name__,
+        args=[repr(a) for a in args],
+        kwargs={k: repr(v) for k, v in sorted(kwargs.items())},
+    )
+    key = cell.key() if cache is not None else None
+    record = cache.get(key) if cache is not None else None
+
     timing = {}
 
     def timed(*a, **kw):
         start = time.perf_counter()
-        out = fn(*a, **kw)
+        if record is not None:
+            out = ExperimentTable.from_json(record["payload"])
+        else:
+            out = fn(*a, **kw)
         timing["seconds"] = time.perf_counter() - start
         return out
 
     result = benchmark.pedantic(timed, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    if cache is not None and record is None and hasattr(result, "to_json"):
+        payload = result.to_json()
+        payload["profile"] = {}  # wall time is not part of the result
+        cache.put(key, cell, payload)
     test_id = os.environ.get("PYTEST_CURRENT_TEST", "").split(" ")[0]
     _RESULTS.append(
         {
             "test": test_id,
             "seconds": round(timing.get("seconds", 0.0), 6),
+            "cached": record is not None,
             "table": _table_summary(result),
         }
     )

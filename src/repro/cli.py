@@ -9,6 +9,11 @@ Usage (also available as ``python -m repro``)::
     repro compare compress -n 8              # every policy side by side
     repro experiment table3                  # regenerate a paper table
     repro experiment all --scale tiny        # every table and figure
+    repro experiment all --jobs 4 \\
+        --cache-dir .repro-cache             # parallel + result cache
+    repro experiment all --resume \\
+        --cache-dir .repro-cache             # finish a killed run
+    repro sweep sc compress --override stages=4,8 --jobs 4  # design space
     repro profile compress                   # where does wall time go?
     repro staticdep compress                 # static pairs vs the oracle
     repro staticdep compress --symbolic      # MUST/MAY/NO alias verdicts
@@ -33,6 +38,7 @@ import argparse
 import json
 import os
 import sys
+from typing import Optional
 
 from repro.core.stats import speedup
 from repro.experiments import ALL_EXPERIMENTS
@@ -93,7 +99,41 @@ def _build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--scale", default="test")
     add_telemetry_flags(p_cmp)
 
-    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    def add_executor_flags(p):
+        p.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="fan cells out to N worker processes (default: "
+            "$REPRO_EXECUTOR_JOBS, else the legacy serial in-process path)",
+        )
+        p.add_argument(
+            "--cache-dir", dest="cache_dir", metavar="DIR",
+            default=os.environ.get("REPRO_CACHE_DIR") or None,
+            help="content-addressed result cache; finished cells are "
+            "written immediately and reused on later runs (default: "
+            "$REPRO_CACHE_DIR)",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="resume a partially completed run from --cache-dir "
+            "(finished cells load from the cache; only the rest execute)",
+        )
+        p.add_argument(
+            "--retries", type=int, default=1, metavar="N",
+            help="re-attempts per failed cell before it is reported FAILED "
+            "(default 1)",
+        )
+        p.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-cell wall-clock budget; a cell over budget fails "
+            "(and is retried) instead of hanging the run",
+        )
+
+    p_exp = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure",
+        description="Regenerate paper tables/figures, optionally in "
+        "parallel through the cell executor. Exit codes: 0 all cells "
+        "completed, 2 unknown experiment / usage error / any FAILED cell.",
+    )
     p_exp.add_argument("which", help="'all' or one of: %s" % ", ".join(sorted(ALL_EXPERIMENTS)))
     p_exp.add_argument("--scale", default="test")
     p_exp.add_argument(
@@ -101,7 +141,29 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="COLUMN",
         help="additionally render COLUMN as a text bar chart",
     )
+    add_executor_flags(p_exp)
     add_telemetry_flags(p_exp)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a (workload x config x policy) parameter sweep",
+        description="Sweep the design space: the cross product of "
+        "workloads, --override value lists, and --policies, one "
+        "simulation per grid cell. Exit codes: 0 all cells completed, "
+        "2 usage error / any FAILED cell.",
+    )
+    p_sweep.add_argument("workloads", nargs="+", help="workload names")
+    p_sweep.add_argument(
+        "--policies", default="always,esync,psync", metavar="P1,P2,...",
+        help="comma-separated policy list (default: always,esync,psync)",
+    )
+    p_sweep.add_argument(
+        "--override", action="append", default=[], metavar="FIELD=V1,V2,...",
+        help="sweep a MultiscalarConfig field over a value list, e.g. "
+        "--override stages=4,8 (repeatable; the grid is the cross product)",
+    )
+    p_sweep.add_argument("--scale", default="tiny")
+    add_executor_flags(p_sweep)
+    add_telemetry_flags(p_sweep)
 
     p_prof = sub.add_parser(
         "profile", help="profile one workload end to end (wall clock)"
@@ -326,12 +388,60 @@ def cmd_compare(args) -> int:
     return 0
 
 
-def cmd_experiment(args) -> int:
-    from repro.telemetry import PROFILER
+def _resolved_jobs(args):
+    """--jobs, else $REPRO_EXECUTOR_JOBS, else None (legacy serial)."""
+    if args.jobs is not None:
+        return max(1, args.jobs)
+    env = os.environ.get("REPRO_EXECUTOR_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            print(
+                "ignoring non-integer REPRO_EXECUTOR_JOBS=%r" % env,
+                file=sys.stderr,
+            )
+    return None
 
+
+def _check_executor_usage(args) -> Optional[int]:
+    """Exit code 2 for inconsistent executor flags, else None."""
+    if args.resume and not args.cache_dir:
+        print("error: --resume requires --cache-dir", file=sys.stderr)
+        return 2
+    return None
+
+
+def _executor_telemetry(args):
+    """(metrics registry, trace sink) — real sinks only when requested."""
+    from repro.telemetry import MetricRegistry, TraceEventSink
+
+    metrics = MetricRegistry() if args.metrics else None
+    trace = TraceEventSink() if args.trace_events else None
+    return metrics, trace
+
+
+def _write_executor_telemetry(args, report, metrics, trace):
+    if args.metrics:
+        _write_json(
+            args.metrics,
+            {"executor": report.counters(), "metrics": metrics.to_dict()},
+        )
+    if args.trace_events:
+        _write_json(args.trace_events, trace.to_dict())
+
+
+def _print_failed_cells(report) -> None:
+    for result in report.failed:
+        print(
+            "FAILED cell %s after %d attempt(s): %s"
+            % (result.cell.label, result.attempts, result.error),
+            file=sys.stderr,
+        )
+
+
+def cmd_experiment(args) -> int:
     keys = sorted(ALL_EXPERIMENTS) if args.which == "all" else [args.which]
-    mark = PROFILER.mark()
-    tables = []
     for key in keys:
         if key not in ALL_EXPERIMENTS:
             print(
@@ -340,24 +450,138 @@ def cmd_experiment(args) -> int:
                 file=sys.stderr,
             )
             return 2
+    usage_error = _check_executor_usage(args)
+    if usage_error is not None:
+        return usage_error
+    jobs = _resolved_jobs(args)
+    if jobs is None and not args.cache_dir and args.timeout is None:
+        return _experiment_serial(args, keys)
+    return _experiment_executor(args, keys, jobs or 1)
+
+
+def _experiment_serial(args, keys) -> int:
+    """The legacy in-process path (tables keep their wall-clock profile)."""
+    from repro.telemetry import PROFILER
+
+    mark = PROFILER.mark()
+    tables = []
+    for key in keys:
         table = ALL_EXPERIMENTS[key](args.scale)
         tables.append(table)
-        if args.as_json:
-            continue
-        print(table.to_text())
-        if getattr(args, "bars", None):
-            try:
-                print()
-                print(table.to_bars(args.bars))
-            except ValueError:
-                print("(column %r not in %s)" % (args.bars, key), file=sys.stderr)
-        print()
+        _print_table(args, table)
     if args.metrics:
         _write_json(args.metrics, {"profile": PROFILER.summary(since=mark)})
     if args.trace_events:
         _write_json(args.trace_events, PROFILER.to_trace_events(since=mark))
     if args.as_json:
         print(json.dumps([table.to_json() for table in tables], indent=2))
+    return 0
+
+
+def _experiment_executor(args, keys, jobs) -> int:
+    """The cell-executor path: parallel, cached, fault tolerant."""
+    from repro.experiments import run_all
+
+    metrics, trace = _executor_telemetry(args)
+    tables, report = run_all(
+        parallel=jobs,
+        scale=args.scale,
+        experiments=keys,
+        cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+        metrics=metrics,
+        trace=trace,
+    )
+    for key in keys:
+        _print_table(args, tables[key])
+    _write_executor_telemetry(args, report, metrics, trace)
+    if args.as_json:
+        print(json.dumps([tables[key].to_json() for key in keys], indent=2))
+    if report.failed:
+        _print_failed_cells(report)
+        return 2
+    return 0
+
+
+def _print_table(args, table) -> None:
+    if args.as_json:
+        return
+    print(table.to_text())
+    if getattr(args, "bars", None):
+        try:
+            print()
+            print(table.to_bars(args.bars))
+        except ValueError:
+            print(
+                "(column %r not in %s)" % (args.bars, table.experiment),
+                file=sys.stderr,
+            )
+    print()
+
+
+def _parse_override(text):
+    """``stages=4,8`` -> ("stages", [4, 8]) with numeric coercion."""
+    if "=" not in text:
+        raise ValueError("expected FIELD=V1,V2,..., got %r" % text)
+    name, _, values = text.partition("=")
+    out = []
+    for token in values.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            out.append(int(token))
+        except ValueError:
+            try:
+                out.append(float(token))
+            except ValueError:
+                out.append(token)
+    if not out:
+        raise ValueError("override %r has no values" % name)
+    return name.strip(), out
+
+
+def cmd_sweep(args) -> int:
+    from repro.experiments.sweeps import sweep
+
+    usage_error = _check_executor_usage(args)
+    if usage_error is not None:
+        return usage_error
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    try:
+        overrides = dict(_parse_override(text) for text in args.override)
+        for name in args.workloads:
+            get_workload(name)  # fail fast on unknown workloads
+    except Exception as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    metrics, trace = _executor_telemetry(args)
+    jobs = _resolved_jobs(args)
+    result = sweep(
+        args.workloads,
+        policies=policies,
+        overrides=overrides,
+        scale=args.scale,
+        jobs=jobs or 1,
+        cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+        metrics=metrics,
+        trace=trace,
+    )
+    report = getattr(result, "report", None)
+    if report is not None:
+        _write_executor_telemetry(args, report, metrics, trace)
+    table = result.to_table()
+    if args.as_json:
+        print(json.dumps(table.to_json(), indent=2))
+    else:
+        print(table.to_text())
+    if result.failed:
+        for label, error in result.failed:
+            print("FAILED cell %s: %s" % (label, error), file=sys.stderr)
+        return 2
     return 0
 
 
@@ -581,6 +805,7 @@ def main(argv=None) -> int:
         "simulate": cmd_simulate,
         "compare": cmd_compare,
         "experiment": cmd_experiment,
+        "sweep": cmd_sweep,
         "profile": cmd_profile,
         "staticdep": cmd_staticdep,
         "lint": cmd_lint,

@@ -9,7 +9,7 @@ from repro.experiments.figures import (
 from repro.experiments.results import ExperimentTable
 from repro.experiments.staticdep import staticdep_coverage, staticdep_symbolic
 from repro.telemetry import PROFILER
-from repro.experiments.sweeps import SweepPoint, SweepResult, sweep
+from repro.experiments.sweeps import SweepPoint, SweepResult, sweep, sweep_cells
 from repro.experiments.tables import (
     RecordingAlwaysPolicy,
     load_traces,
@@ -80,6 +80,76 @@ ALL_EXPERIMENTS = {
     }.items()
 }
 
+#: experiments that render configuration rather than simulate — they
+#: need no interpreted traces, so the executor skips pre-warming for them
+_NO_TRACE_EXPERIMENTS = frozenset({"table2"})
+
+
+def run_all(
+    parallel=None,
+    scale="test",
+    experiments=None,
+    cache_dir=None,
+    timeout=None,
+    retries=1,
+    metrics=None,
+    trace=None,
+):
+    """Run experiments through the parallel executor.
+
+    Args:
+        parallel: worker processes (None/1 = inline in this process).
+        scale: workload scale for every cell.
+        experiments: iterable of experiment ids (default: all of them).
+        cache_dir: content-addressed result cache directory; finished
+            cells are written immediately and reloaded on re-invocation,
+            which is also the ``--resume`` checkpoint mechanism.
+        timeout: per-cell wall-clock budget in seconds.
+        retries: re-attempts per FAILED cell.
+        metrics/trace: optional telemetry sinks for executor counters
+            and the per-worker Chrome trace.
+
+    Returns:
+        ``(tables, report)`` — a dict of experiment id ->
+        :class:`ExperimentTable` in sorted-key order (FAILED experiments
+        degrade to placeholder tables instead of aborting the run), and
+        the executor's :class:`~repro.experiments.executor.RunReport`.
+    """
+    from repro.experiments.executor import (
+        Executor,
+        assemble_experiments,
+        experiment_cells,
+    )
+    from repro.experiments.tables import warm_traces
+
+    keys = sorted(ALL_EXPERIMENTS) if experiments is None else list(experiments)
+    unknown = [key for key in keys if key not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError("unknown experiment(s): %s" % ", ".join(sorted(unknown)))
+    cells = experiment_cells(keys, scale)
+
+    suites = set()
+    for cell in cells:
+        cell_suites = cell.param("suites")
+        if cell_suites:
+            suites.update(cell_suites)
+        elif cell.name not in _NO_TRACE_EXPERIMENTS:
+            suites.add("specint92")
+    prewarm = (lambda: warm_traces(sorted(suites), scale)) if suites else None
+
+    executor = Executor(
+        jobs=parallel or 1,
+        cache=cache_dir,
+        timeout=timeout,
+        retries=retries,
+        metrics=metrics,
+        trace=trace,
+        prewarm=prewarm,
+    )
+    report = executor.run(cells)
+    return assemble_experiments(keys, report), report
+
+
 __all__ = [
     "ALL_EXPERIMENTS",
     "ExperimentTable",
@@ -90,11 +160,13 @@ __all__ = [
     "staticdep_coverage",
     "staticdep_symbolic",
     "sweep",
+    "sweep_cells",
     "table2_fu_latencies",
     "figure5_policy_speedups",
     "figure6_mechanism_speedups",
     "figure7_spec95_speedups",
     "load_traces",
+    "run_all",
     "table1_instruction_counts",
     "table3_window_missspec",
     "table4_static_coverage",

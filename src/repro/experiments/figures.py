@@ -104,7 +104,7 @@ def extension_window_scaling(scale="test", stage_counts=(2, 4, 8, 16)):
     return table
 
 
-def figure7_spec95_speedups(scale="test", stages=8):
+def figure7_spec95_speedups(scale="test", stages=8, suites=("specint95", "specfp95")):
     """Figure 7: ESYNC and PSYNC speedups over ALWAYS for the SPEC95
     suites on an 8-stage Multiscalar, plus the ESYNC IPC.
 
@@ -113,13 +113,17 @@ def figure7_spec95_speedups(scale="test", stages=8):
     (swim, mgrid, turb3d) gain nothing; su2cor and fpppp fall well
     short of the ideal because their dependence working sets exceed
     the prediction structures.
+
+    *suites* restricts the run to a subset — the parallel executor
+    splits this figure into one cell per suite and concatenates the
+    rows back in suite order.
     """
     table = ExperimentTable(
         "figure7",
         "%d-stage Multiscalar, SPEC95: speedups (%%) over ALWAYS" % stages,
         ["benchmark", "suite", "esync_ipc", "ESYNC", "PSYNC"],
     )
-    for suite_name in ("specint95", "specfp95"):
+    for suite_name in suites:
         traces = load_traces(suite_name, scale)
         for name in sorted(traces):
             base = _run(traces[name], stages, "always")

@@ -148,6 +148,13 @@ by `tests/experiments/test_runners.py` and the benchmark harness — is
 the *shape* of every result: who wins, in which order, and where the
 crossovers sit.
 
+The report runs serially.  To regenerate individual tables faster, run
+them through the parallel executor (`repro experiment all --jobs N
+--cache-dir .repro-cache`): the experiment grid fans out across N
+worker processes and finished cells are cached, so wall time drops
+roughly with the core count on a cold run and to seconds on a warm one
+(see docs/parallel.md).  The tables are bit-identical either way.
+
 Scale: `%(scale)s`.  Generated in %(elapsed).0f s.
 """
 

@@ -100,6 +100,20 @@ class ExperimentTable:
             "profile": dict(self.profile),
         }
 
+    @classmethod
+    def from_json(cls, payload: dict) -> "ExperimentTable":
+        """Inverse of :meth:`to_json` — used by the parallel executor to
+        reassemble tables from cached or worker-produced cell payloads.
+        ``from_json(t.to_json()).to_json() == t.to_json()`` exactly."""
+        return cls(
+            experiment=payload["experiment"],
+            title=payload["title"],
+            columns=list(payload["columns"]),
+            rows=[list(row) for row in payload.get("rows", [])],
+            notes=list(payload.get("notes", [])),
+            profile=dict(payload.get("profile", {})),
+        )
+
     def to_bars(self, column, label_column=None, width=40) -> str:
         """Render one numeric column as a text bar chart.
 

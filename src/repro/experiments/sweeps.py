@@ -36,9 +36,15 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """All points of one sweep, with selection helpers."""
+    """All points of one sweep, with selection helpers.
+
+    ``failed`` records (cell label, error) pairs for grid cells that
+    did not complete under the parallel executor — the surviving points
+    are still usable, and :meth:`to_table` notes the gap.
+    """
 
     points: List[SweepPoint] = field(default_factory=list)
+    failed: List[Tuple[str, str]] = field(default_factory=list)
 
     def select(self, **criteria) -> List[SweepPoint]:
         """Points matching workload=/policy=/<override>= criteria."""
@@ -79,7 +85,79 @@ class SweepResult:
             row += [point.override(k, "-") for k in override_keys]
             row += [point.cycles, round(point.ipc, 2), point.mis_speculations]
             table.add_row(*row)
+        if self.failed:
+            table.notes.append(
+                "FAILED: %d cell(s) missing: %s"
+                % (len(self.failed), ", ".join(label for label, _ in self.failed))
+            )
         return table
+
+
+def sweep_cells(
+    workloads: Sequence[str],
+    policies: Sequence[str] = ("always", "esync", "psync"),
+    overrides: Optional[Dict[str, Sequence[object]]] = None,
+    scale="tiny",
+):
+    """The sweep grid as executor cells, in serial iteration order."""
+    from repro.experiments.executor import Cell
+
+    overrides = overrides or {}
+    keys = sorted(overrides)
+    combos = list(itertools.product(*(overrides[k] for k in keys))) or [()]
+    cells = []
+    for name in workloads:
+        for combo in combos:
+            for policy_name in policies:
+                cells.append(
+                    Cell.make(
+                        "sweep",
+                        "%s/%s" % (name, policy_name),
+                        workload=name,
+                        policy=policy_name,
+                        scale=scale,
+                        overrides=[[k, v] for k, v in zip(keys, combo)],
+                    )
+                )
+    return cells
+
+
+def _sweep_parallel(
+    workloads, policies, overrides, scale, jobs, cache_dir, timeout, retries,
+    metrics=None, trace=None,
+) -> SweepResult:
+    from repro.experiments.executor import Executor
+
+    cells = sweep_cells(workloads, policies, overrides, scale)
+    executor = Executor(
+        jobs=jobs or 1,
+        cache=cache_dir,
+        timeout=timeout,
+        retries=retries,
+        metrics=metrics,
+        trace=trace,
+    )
+    report = executor.run(cells)
+    result = SweepResult()
+    for cell_result in report.results:
+        if not cell_result.ok:
+            result.failed.append(
+                (cell_result.cell.label, cell_result.error or "unknown error")
+            )
+            continue
+        payload = cell_result.payload
+        result.points.append(
+            SweepPoint(
+                workload=payload["workload"],
+                policy=payload["policy"],
+                overrides=tuple((k, v) for k, v in payload["overrides"]),
+                cycles=payload["cycles"],
+                ipc=payload["ipc"],
+                mis_speculations=payload["mis_speculations"],
+            )
+        )
+    result.report = report  # type: ignore[attr-defined]
+    return result
 
 
 def sweep(
@@ -89,13 +167,39 @@ def sweep(
     scale="tiny",
     base_config: Optional[MultiscalarConfig] = None,
     traces=None,
+    jobs: Optional[int] = None,
+    cache_dir=None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    metrics=None,
+    trace=None,
 ) -> SweepResult:
     """Run the full cross product and return a :class:`SweepResult`.
 
     *overrides* maps :class:`MultiscalarConfig` field names to value
     lists, e.g. ``{"stages": (4, 8), "squash_penalty": (2, 4, 8)}``.
     Pass *traces* (name -> Trace) to reuse interpreted traces.
+
+    Pass ``jobs`` and/or ``cache_dir`` to route the grid through the
+    parallel executor (:mod:`repro.experiments.executor`): one cell per
+    (workload, config, policy) point, content-addressed caching,
+    per-cell retry/timeout, and FAILED cells recorded on
+    ``result.failed`` instead of aborting.  The executor path supports
+    the default base configuration plus scalar ``overrides`` only (cell
+    specs must be JSON-serializable); results are bit-identical to the
+    serial path.
     """
+    if jobs is not None or cache_dir is not None:
+        if base_config is not None or traces is not None:
+            raise ValueError(
+                "parallel sweep supports the default base config only "
+                "(cell specs must be JSON-serializable); drop base_config/traces "
+                "or run serially"
+            )
+        return _sweep_parallel(
+            workloads, policies, overrides, scale, jobs, cache_dir,
+            timeout, retries, metrics=metrics, trace=trace,
+        )
     overrides = overrides or {}
     base = base_config or MultiscalarConfig()
     traces = dict(traces or {})

@@ -41,6 +41,18 @@ def load_traces(suite_name=SPECINT92, scale="test"):
     return traces
 
 
+def warm_traces(suite_names=("specint92", "specint95", "specfp95"), scale="test"):
+    """Populate the trace cache for whole suites up front.
+
+    The parallel executor calls this in the parent before forking its
+    worker pool: the interpreted traces are inherited copy-on-write, so
+    each workload is interpreted once per run instead of once per
+    worker.
+    """
+    for suite_name in suite_names:
+        load_traces(suite_name, scale)
+
+
 class RecordingAlwaysPolicy(AlwaysPolicy):
     """Blind speculation that records the mis-speculation event stream
     (static store/load PC pairs in detection order) — the input for the

@@ -1,0 +1,12 @@
+"""Suite-wide pytest configuration."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden experiment fixtures under "
+        "tests/experiments/golden/ instead of comparing against them "
+        "(use for intentional rebaselines; review the diff)",
+    )

@@ -1,0 +1,84 @@
+"""Determinism A/B contract: serial == parallel == warm-cache.
+
+Extends the PR-2 telemetry A/B pattern to the executor: fanning cells
+out to worker processes, or serving them from the content-addressed
+cache, must not change one bit of any experiment's JSON payload.  The
+one sanctioned difference is the wall-clock ``profile`` (inherently
+nondeterministic), which executor-produced tables carry empty — the
+serial reference is normalized the same way before comparison.
+
+Representative experiments: ``table1`` (split into per-suite cells, so
+the merge path is under test), ``table3`` (oracle window analysis), and
+``table6`` (Multiscalar timing simulation).
+"""
+
+import json
+
+from repro.experiments import ALL_EXPERIMENTS, run_all
+from repro.experiments.sweeps import sweep
+
+EXPERIMENTS = ("table1", "table3", "table6")
+SCALE = "tiny"
+
+_serial_reference = None
+
+
+def canonical(table) -> str:
+    payload = table.to_json()
+    payload["profile"] = {}
+    return json.dumps(payload, sort_keys=True)
+
+
+def serial_reference():
+    """Plain in-process runs, computed once per test session."""
+    global _serial_reference
+    if _serial_reference is None:
+        _serial_reference = {
+            key: canonical(ALL_EXPERIMENTS[key](SCALE)) for key in EXPERIMENTS
+        }
+    return _serial_reference
+
+
+def test_parallel_four_jobs_is_bit_identical_to_serial():
+    tables, report = run_all(parallel=4, scale=SCALE, experiments=EXPERIMENTS)
+    assert not report.failed
+    assert report.jobs == 4
+    assert {k: canonical(tables[k]) for k in EXPERIMENTS} == serial_reference()
+
+
+def test_executor_inline_is_bit_identical_to_serial():
+    tables, report = run_all(parallel=1, scale=SCALE, experiments=EXPERIMENTS)
+    assert not report.failed
+    assert {k: canonical(tables[k]) for k in EXPERIMENTS} == serial_reference()
+
+
+def test_warm_cache_is_bit_identical_to_serial(tmp_path):
+    cache = tmp_path / "cache"
+    cold_tables, cold = run_all(
+        parallel=2, scale=SCALE, experiments=EXPERIMENTS, cache_dir=cache
+    )
+    assert not cold.failed
+    assert cold.counters()["cells_cached"] == 0
+    warm_tables, warm = run_all(
+        parallel=2, scale=SCALE, experiments=EXPERIMENTS, cache_dir=cache
+    )
+    assert not warm.failed
+    assert warm.counters()["cells_run"] == 0
+    assert warm.counters()["cells_cached"] == cold.counters()["cells_run"]
+    reference = serial_reference()
+    assert {k: canonical(cold_tables[k]) for k in EXPERIMENTS} == reference
+    assert {k: canonical(warm_tables[k]) for k in EXPERIMENTS} == reference
+
+
+def test_sweep_parallel_is_bit_identical_to_serial():
+    grid = dict(
+        policies=("always", "esync"),
+        overrides={"stages": (2, 4)},
+        scale=SCALE,
+    )
+    serial = sweep(["sc", "xlisp"], **grid)
+    parallel = sweep(["sc", "xlisp"], jobs=4, **grid)
+    assert json.dumps(parallel.to_table().to_json(), sort_keys=True) == json.dumps(
+        serial.to_table().to_json(), sort_keys=True
+    )
+    assert not parallel.failed

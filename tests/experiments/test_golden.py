@@ -1,0 +1,50 @@
+"""Golden-result regression tests.
+
+Small checked-in JSON tables for ``figure5`` and ``table3`` at the
+``tiny`` scale pin the exact reproduced numbers.  Every simulator or
+workload change that shifts a value shows up as a readable JSON diff.
+
+Intentional rebaselines: run
+
+    PYTHONPATH=src python -m pytest tests/experiments/test_golden.py --update-golden
+
+review the diff under ``tests/experiments/golden/``, and commit it.
+The payloads are normalized exactly like the executor's cache payloads
+(wall-clock ``profile`` cleared), so the same fixtures also pin the
+parallel/cached result format.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+GOLDEN_EXPERIMENTS = ("figure5", "table3")
+SCALE = "tiny"
+
+
+def rendered(key) -> str:
+    payload = ALL_EXPERIMENTS[key](SCALE).to_json()
+    payload["profile"] = {}  # wall time is nondeterministic by design
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize("key", GOLDEN_EXPERIMENTS)
+def test_golden(key, request):
+    path = GOLDEN_DIR / ("%s.json" % key)
+    text = rendered(key)
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        pytest.skip("rebaselined %s" % path.name)
+    assert path.exists(), (
+        "missing golden fixture %s — generate it with "
+        "`pytest tests/experiments/test_golden.py --update-golden`" % path
+    )
+    assert text == path.read_text(), (
+        "%s drifted from its golden fixture; if the change is intentional, "
+        "rerun with --update-golden and commit the diff" % key
+    )

@@ -137,7 +137,10 @@ def test_compare_json_and_merged_trace(capsys, tmp_path):
     assert len(pids) == len(POLICIES)  # one trace process per policy
 
 
-def test_experiment_json_output(capsys):
+def test_experiment_json_output(capsys, monkeypatch):
+    # the legacy serial path attaches the wall-clock profile; pin it
+    # even when the environment opts into the parallel executor
+    monkeypatch.delenv("REPRO_EXECUTOR_JOBS", raising=False)
     assert main(["experiment", "table2", "--json"]) == 0
     (payload,) = json.loads(capsys.readouterr().out)
     assert payload["experiment"] == "table2"
@@ -146,7 +149,8 @@ def test_experiment_json_output(capsys):
     assert "experiment:table2" in payload["profile"]
 
 
-def test_experiment_profile_exports(capsys, tmp_path):
+def test_experiment_profile_exports(capsys, tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_EXECUTOR_JOBS", raising=False)
     metrics_path = tmp_path / "m.json"
     trace_path = tmp_path / "t.json"
     assert main([
@@ -305,3 +309,88 @@ def test_exit_code_two_on_usage_errors(capsys):
     assert main(["staticdep", "examples/programs/nope.s"]) == 2
     err = capsys.readouterr().err
     assert err.count("error:") == 5
+
+
+# --- the parallel executor through `repro experiment` / `repro sweep` ---
+
+
+def test_experiment_jobs_flag(capsys):
+    """--jobs routes through the executor; tables carry no wall-clock
+    profile (the determinism contract) but are otherwise identical."""
+    assert main(["experiment", "table2", "--jobs", "2", "--json"]) == 0
+    (payload,) = json.loads(capsys.readouterr().out)
+    assert payload["experiment"] == "table2"
+    assert payload["rows"]
+    assert payload["profile"] == {}
+
+
+def test_experiment_cache_end_to_end(capsys, tmp_path):
+    """Cold run populates the cache; the warm run serves every cell from
+    it (cells_cached counter) and prints bit-identical output."""
+    cache = str(tmp_path / "cache")
+    metrics = tmp_path / "metrics.json"
+    assert main(["experiment", "table3", "--scale", "tiny",
+                 "--cache-dir", cache, "--json"]) == 0
+    cold = capsys.readouterr().out
+    assert main(["experiment", "table3", "--scale", "tiny",
+                 "--cache-dir", cache, "--resume", "--json",
+                 "--metrics", str(metrics)]) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold
+    counters = json.loads(metrics.read_text())["executor"]
+    assert counters["cells_cached"] == 1
+    assert counters["cells_run"] == 0
+    assert counters["cells_failed"] == 0
+
+
+def test_experiment_resume_requires_cache_dir(capsys):
+    assert main(["experiment", "table2", "--resume"]) == 2
+    assert "--resume requires --cache-dir" in capsys.readouterr().err
+
+
+def test_experiment_failed_cell_exits_two(capsys):
+    """A cell over its wall-clock budget degrades to FAILED -> exit 2."""
+    assert main(["experiment", "table3", "--scale", "tiny",
+                 "--jobs", "1", "--timeout", "0.000001", "--retries", "0"]) == 2
+    captured = capsys.readouterr()
+    assert "FAILED cell experiment:table3" in captured.err
+    # the run degrades instead of dying: a placeholder table is printed
+    assert "FAILED" in captured.out
+
+
+def test_experiment_executor_trace_export(capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    assert main(["experiment", "table2", "--jobs", "1",
+                 "--trace-events", str(trace_path)]) == 0
+    capsys.readouterr()
+    events = json.loads(trace_path.read_text())["traceEvents"]
+    assert any(e["ph"] == "X" and e["cat"] == "cell" for e in events)
+    worker_tracks = {
+        e["args"]["name"] for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert "worker 0" in worker_tracks
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "sc", "--policies", "always,esync",
+                 "--override", "stages=2,4", "--scale", "tiny", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["experiment"] == "sweep"
+    assert len(payload["rows"]) == 4  # 1 workload x 2 stages x 2 policies
+    assert set(payload["columns"]) >= {"workload", "policy", "stages"}
+
+
+def test_sweep_command_parallel_matches_serial(capsys):
+    argv = ["sweep", "xlisp", "--policies", "always,esync",
+            "--override", "stages=2,4", "--scale", "tiny", "--json"]
+    assert main(argv) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(argv + ["--jobs", "2"]) == 0
+    parallel = json.loads(capsys.readouterr().out)
+    assert parallel == serial
+
+
+def test_sweep_unknown_workload_exits_two(capsys):
+    assert main(["sweep", "no-such-workload"]) == 2
+    assert "error:" in capsys.readouterr().err
