@@ -116,6 +116,25 @@ def run_once(benchmark, fn, *args, **kwargs):
     return result
 
 
+@pytest.fixture
+def bench_record():
+    """Append a custom record to the session's BENCH_results.json.
+
+    For benchmarks that measure something other than one table-producing
+    experiment (e.g. the hot-path A/B legs), where ``run_once`` does not
+    fit.  The current test id and wall seconds are mandatory-shaped like
+    ``run_once`` records; anything else rides along verbatim.
+    """
+
+    def record(seconds, **extra):
+        test_id = os.environ.get("PYTEST_CURRENT_TEST", "").split(" ")[0]
+        _RESULTS.append(
+            {"test": test_id, "seconds": round(seconds, 6), **extra}
+        )
+
+    return record
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Persist the session's benchmark records as BENCH_results.json."""
     if not _RESULTS:

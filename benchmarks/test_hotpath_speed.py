@@ -1,0 +1,161 @@
+"""Hot-path speed: trace cache + columnar index + event scheduler.
+
+Three legs over figure 5's exact cell grid (the SPECint92 suite x
+stage counts x NEVER/ALWAYS/WAIT/PSYNC), asserted cycle-identical:
+
+* **legacy** — the pre-PR shape recreated in-tree: every workload is
+  re-interpreted with ``run_program``, every simulator rebuilds its
+  own static index, and the per-cycle scan scheduler drives issue.
+* **cold** — first run on a fresh machine: empty trace cache (memory
+  and disk), event scheduler, shared per-trace index.  Pays one
+  interpretation + serialization per workload.
+* **warm** — every later run: traces deserialized from the on-disk
+  cache, event scheduler, shared index.
+
+The in-tree legacy leg *understates* what the seed actually cost:
+the seed's scan also chased ``TraceEntry`` attribute chains and
+rebuilt its pending lists every cycle, code that no longer exists.
+``hotpath_baseline.json`` therefore carries ``seed_factor`` — the
+measured ratio between ``repro experiment figure5 --jobs 1`` at the
+seed commit and this file's legacy leg, taken on the same machine —
+and the headline speedups are reported against the seed-equivalent
+time ``legacy_seconds * seed_factor``.  Wall-clock ratios between two
+pure-Python single-thread runs transfer across machines far better
+than absolute seconds do, which is what makes the frozen factor a
+sound reference.
+
+The floors (warm >= 3x seed, cold >= 1.5x seed) are this PR's
+acceptance bars; the committed baseline also turns them into a
+regression gate — a change may not lose more than ``tolerance``
+against the recorded speedups.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.frontend import run_program
+from repro.frontend import trace_cache as tc
+from repro.frontend.trace_cache import TraceCache, clear_memory_cache
+from repro.multiscalar import MultiscalarConfig, MultiscalarSimulator, make_policy
+from repro.workloads import get_workload, suite
+
+#: Figure 5's cell grid: the speedup must hold on the real experiment,
+#: not on a flattering subset.
+WORKLOADS = tuple(w.name for w in suite("specint92"))
+STAGE_COUNTS = (4, 8)
+POLICIES = ("never", "always", "wait", "psync")
+SCALE = "test"
+
+BASELINE_PATH = Path(__file__).resolve().parent / "hotpath_baseline.json"
+
+
+def _simulate(trace, scheduler, share_index):
+    total_cycles = 0
+    for stages in STAGE_COUNTS:
+        for policy_name in POLICIES:
+            sim = MultiscalarSimulator(
+                trace,
+                MultiscalarConfig(stages=stages, scheduler=scheduler),
+                make_policy(policy_name),
+                share_index=share_index,
+            )
+            total_cycles += sim.run().cycles
+    return total_cycles
+
+
+def _leg_legacy():
+    """Fresh interpretation, per-simulator index, per-cycle scan."""
+    total = 0
+    for name in WORKLOADS:
+        trace = run_program(get_workload(name).program(scale=SCALE))
+        total += _simulate(trace, scheduler="cycle", share_index=False)
+    return total
+
+
+def _leg_cached(cache_root):
+    """Trace cache + shared columnar index + event scheduler."""
+    cache = TraceCache(cache_root)
+    total = 0
+    for name in WORKLOADS:
+        trace = cache.get_or_run(get_workload(name).program(scale=SCALE))
+        total += _simulate(trace, scheduler="event", share_index=True)
+    return total
+
+
+def test_hotpath_speedups(benchmark, bench_record, tmp_path):
+    saved_memory = dict(tc._MEMORY)
+    timings = {}
+    cycles = {}
+
+    def run_legs():
+        start = time.perf_counter()
+        cycles["legacy"] = _leg_legacy()
+        timings["legacy"] = time.perf_counter() - start
+
+        clear_memory_cache()
+        start = time.perf_counter()
+        cycles["cold"] = _leg_cached(tmp_path / "traces")
+        timings["cold"] = time.perf_counter() - start
+
+        clear_memory_cache()  # drop memory, keep the warm disk layer
+        start = time.perf_counter()
+        cycles["warm"] = _leg_cached(tmp_path / "traces")
+        timings["warm"] = time.perf_counter() - start
+        return timings
+
+    try:
+        benchmark.pedantic(run_legs, rounds=1, iterations=1)
+    finally:
+        tc._MEMORY.clear()
+        tc._MEMORY.update(saved_memory)
+
+    # the optimized paths must be invisible in the simulated numbers
+    assert cycles["legacy"] == cycles["cold"] == cycles["warm"]
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    tolerance = baseline["tolerance"]
+    seed_factor = baseline["seed_factor"]
+
+    seed_equivalent = timings["legacy"] * seed_factor
+    warm_speedup = seed_equivalent / timings["warm"]
+    cold_speedup = seed_equivalent / timings["cold"]
+
+    warm_floor = max(3.0, baseline["warm_speedup"] / tolerance)
+    cold_floor = max(1.5, baseline["cold_speedup"] / tolerance)
+
+    bench_record(
+        timings["legacy"] + timings["cold"] + timings["warm"],
+        cached=False,
+        hotpath={
+            "legacy_seconds": round(timings["legacy"], 3),
+            "seed_equivalent_seconds": round(seed_equivalent, 3),
+            "cold_seconds": round(timings["cold"], 3),
+            "warm_seconds": round(timings["warm"], 3),
+            "warm_speedup": round(warm_speedup, 2),
+            "cold_speedup": round(cold_speedup, 2),
+            "warm_floor": round(warm_floor, 2),
+            "cold_floor": round(cold_floor, 2),
+            "total_cycles": cycles["legacy"],
+        },
+    )
+    print()
+    print(
+        "hot path: legacy %.2fs (seed-equivalent %.2fs), "
+        "cold %.2fs (%.2fx), warm %.2fs (%.2fx)"
+        % (
+            timings["legacy"],
+            seed_equivalent,
+            timings["cold"],
+            cold_speedup,
+            timings["warm"],
+            warm_speedup,
+        )
+    )
+
+    assert warm_speedup >= warm_floor, (
+        "warm hot path regressed: %.2fx < %.2fx floor" % (warm_speedup, warm_floor)
+    )
+    assert cold_speedup >= cold_floor, (
+        "cold hot path regressed: %.2fx < %.2fx floor" % (cold_speedup, cold_floor)
+    )

@@ -180,6 +180,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-events", metavar="FILE", dest="trace_events",
         help="write the wall-clock spans as Chrome trace-event JSON",
     )
+    p_prof.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the N widest scopes (default: all)",
+    )
     p_prof.add_argument("--json", action="store_true", dest="as_json")
 
     p_static = sub.add_parser(
@@ -614,6 +618,7 @@ def cmd_profile(args) -> int:
                     "scale": args.scale,
                     "repeat": max(1, args.repeat),
                     "profile": profiler.summary(),
+                    "phases": profiler.phases(),
                     "stats": stats.summary(),
                 },
                 indent=2,
@@ -624,7 +629,7 @@ def cmd_profile(args) -> int:
         "%s (scale %s) under %s on %d stages, %d simulation run(s):"
         % (args.workload, args.scale, args.policy.upper(), args.stages, max(1, args.repeat))
     )
-    print(profiler.to_text())
+    print(profiler.to_text(top=args.top))
     print(
         "simulated %d instructions in %d cycles (IPC %.2f)"
         % (stats.committed_instructions, stats.cycles, stats.ipc)

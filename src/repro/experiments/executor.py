@@ -78,17 +78,21 @@ def canonical_json(payload) -> str:
 
 @lru_cache(maxsize=1)
 def source_fingerprint() -> str:
-    """SHA-256 over the package version and the workload sources.
+    """SHA-256 over the package version, the workload sources, and the
+    binary trace-cache format version.
 
-    Part of every cache key: editing a synthetic kernel or bumping the
-    package version changes the fingerprint and invalidates every
-    cached result that could depend on it.
+    Part of every cache key: editing a synthetic kernel, bumping the
+    package version, or changing the trace encoding (whose cached
+    traces feed every simulation) changes the fingerprint and
+    invalidates every cached result that could depend on it.
     """
     import repro
     import repro.workloads as workloads
+    from repro.frontend.trace_cache import TRACE_FORMAT_VERSION
 
     digest = hashlib.sha256()
     digest.update(repro.__version__.encode())
+    digest.update(b":trace-format:%d:" % TRACE_FORMAT_VERSION)
     root = Path(workloads.__file__).resolve().parent
     for path in sorted(root.glob("*.py")):
         digest.update(path.name.encode())
@@ -423,6 +427,14 @@ class Executor:
         """Execute *cells*, returning results in input order."""
         start = time.time()
         cells = list(cells)
+        if self.cache is not None and "REPRO_TRACE_CACHE" not in os.environ:
+            # co-locate the on-disk trace cache with the result cache so
+            # repeated runs (and forked workers, which inherit the
+            # configured global) skip re-interpreting workloads; an
+            # explicit REPRO_TRACE_CACHE setting wins
+            from repro.frontend.trace_cache import configure_trace_cache
+
+            configure_trace_cache(self.cache.root / "traces")
         fingerprint = source_fingerprint()
         keys = [cell.key(fingerprint) for cell in cells]
         results: List[Optional[CellResult]] = [None] * len(cells)

@@ -74,6 +74,10 @@ class Interpreter:
         task_pc = pc
         seq = 0
         O = Opcode
+        # hot-loop local bindings: one committed instruction per
+        # iteration makes global/attribute lookups measurable
+        make_entry = TraceEntry
+        append = entries.append
 
         while True:
             if seq >= limit:
@@ -221,9 +225,7 @@ class Interpreter:
             else:  # pragma: no cover - all opcodes handled above
                 raise InterpreterError("unimplemented opcode: %s" % op)
 
-            entries.append(
-                TraceEntry(seq, inst, addr, value, taken, next_pc, task_id, task_pc)
-            )
+            append(make_entry(seq, inst, addr, value, taken, next_pc, task_id, task_pc))
             seq += 1
             if next_pc < 0:
                 break

@@ -74,10 +74,23 @@ class TraceEntry:
 class Trace:
     """The committed dynamic instruction stream of one program run."""
 
+    __slots__ = ("program", "entries", "_load_producers", "_index")
+
     def __init__(self, program, entries):
         self.program = program
         self.entries: List[TraceEntry] = entries
         self._load_producers: Optional[Dict[int, Optional[int]]] = None
+        self._index = None
+
+    def __getstate__(self):
+        # memoized derivations are cheap to rebuild and heavy to ship;
+        # pickles (executor workers, caches) carry only the substance
+        return (self.program, self.entries)
+
+    def __setstate__(self, state):
+        self.program, self.entries = state
+        self._load_producers = None
+        self._index = None
 
     def __len__(self):
         return len(self.entries)
@@ -129,6 +142,21 @@ class Trace:
                     producers[entry.seq] = last_store_to.get(entry.addr)
             self._load_producers = producers
         return self._load_producers
+
+    def index(self):
+        """The trace's shared static index (columns + derived maps).
+
+        Built lazily on first use and memoized: every simulator run over
+        this trace aliases one :class:`~repro.frontend.static_index.
+        TraceIndex` instead of re-deriving task slices, register
+        dataflow, and the dependence oracle per run.  The index is
+        immutable; consumers must never mutate it.
+        """
+        if self._index is None:
+            from repro.frontend.static_index import TraceIndex
+
+            self._index = TraceIndex(self)
+        return self._index
 
     def dependence_edges(self):
         """Iterate over true dependence edges as (store_entry, load_entry)."""

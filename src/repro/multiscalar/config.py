@@ -10,6 +10,7 @@ Table 2 categories.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -93,6 +94,18 @@ class MultiscalarConfig:
     # (Section 5.2).  Off by default: fetch is then ideal at fetch_width
     # instructions per cycle.
     model_icache: bool = False
+    # Issue-scan scheduling strategy:
+    #   "event" - a stage is rescanned only when something that could
+    #             change its issue decisions happened (operand wake-ups,
+    #             store address/perform thresholds, commits, timed
+    #             stalls).  Bit-identical to "cycle" by construction —
+    #             scans that are skipped are exactly the provably
+    #             no-op ones — and verified by the A/B suite.
+    #   "cycle" - the legacy per-cycle rescan of every in-flight stage.
+    # The REPRO_SCHEDULER environment variable overrides the default.
+    scheduler: str = field(
+        default_factory=lambda: os.environ.get("REPRO_SCHEDULER", "event")
+    )
 
     def __post_init__(self):
         if self.stages <= 0:
@@ -110,6 +123,10 @@ class MultiscalarConfig:
             raise ValueError(
                 "register_speculation must be oracle/conservative/always/"
                 "predict, got %r" % (self.register_speculation,)
+            )
+        if self.scheduler not in ("event", "cycle"):
+            raise ValueError(
+                "scheduler must be event or cycle, got %r" % (self.scheduler,)
             )
 
     def make_cache_config(self) -> CacheConfig:

@@ -34,6 +34,18 @@ from repro.core.unified import SlottedMDST
 from repro.telemetry import NULL_TELEMETRY
 
 
+# Wake-hint kinds returned by :meth:`SpeculationPolicy.deny_hints`.
+# The event-driven scheduler uses them to decide when a denied load's
+# stage must be rescanned; each hint names one condition under which
+# the policy's answer could change.
+WAKE_TIME = 0      # rescan at the absolute cycle in ``arg``
+WAKE_ISSUE = 1     # rescan when instruction ``arg`` issues
+WAKE_ADDR_MIN = 2  # rescan once no store older than ``arg`` has an unknown address
+WAKE_EXEC_MIN = 3  # rescan once every store older than ``arg`` has executed
+WAKE_COMMIT = 4    # rescan once the window head has advanced past task ``arg``
+WAKE_RESOLVE = 5   # rescan when store ``arg``'s address resolves
+
+
 class SpeculationPolicy:
     """Interface between the timing simulator and a speculation policy."""
 
@@ -46,9 +58,27 @@ class SpeculationPolicy:
     def may_issue_load(self, seq, now) -> bool:
         """May the operand-ready load *seq* access memory at *now*?
 
-        Called once per cycle per ready load until it returns True.
+        Under the legacy cycle scheduler this is consulted once per
+        cycle per ready load until it returns True.  The event-driven
+        scheduler instead consults it only on cycles where one of the
+        load's :meth:`deny_hints` conditions fired — the grant/deny
+        *decisions* are identical, the number of consultations is not.
         """
         raise NotImplementedError
+
+    def deny_hints(self, seq, now):
+        """Why was load *seq* just denied, as wake conditions?
+
+        Called by the event-driven scheduler immediately after
+        :meth:`may_issue_load` returned False.  Returns a list of
+        ``(WAKE_*, arg)`` tuples that together cover every way the
+        denial could lift; the load's stage is rescanned when any of
+        them fires.  Returning None (the default, and the safe answer
+        for any policy that does not model its own wake conditions)
+        makes the scheduler fall back to rescanning the stage every
+        cycle — always correct, merely slower.
+        """
+        return None
 
     def on_store_issued(self, seq, now):
         """A store issued: its address and data just entered the ARB."""
@@ -96,6 +126,17 @@ class NeverPolicy(SpeculationPolicy):
         sim = self.sim
         return sim.all_prior_stores_issued(seq) and not sim.producer_pending(seq)
 
+    def deny_hints(self, seq, now):
+        sim = self.sim
+        hints = []
+        m = sim._unknown_addr_stores.minimum()
+        if m is not None and m < seq:
+            hints.append((WAKE_ADDR_MIN, seq))
+        producer = sim.producers.get(seq)
+        if producer is not None and not sim.issued[producer]:
+            hints.append((WAKE_ISSUE, producer))
+        return hints or None
+
 
 class WaitPolicy(SpeculationPolicy):
     """Selective speculation with perfect dependence prediction.
@@ -117,6 +158,19 @@ class WaitPolicy(SpeculationPolicy):
             return True  # no true dependence within the current window
         return sim.all_prior_stores_issued(seq) and not sim.producer_pending(seq)
 
+    def deny_hints(self, seq, now):
+        sim = self.sim
+        # the denial can also lift when the producer's task commits out
+        # of the window (the load then counts as independent)
+        hints = [(WAKE_COMMIT, sim.task_of[sim.producers[seq]])]
+        m = sim._unknown_addr_stores.minimum()
+        if m is not None and m < seq:
+            hints.append((WAKE_ADDR_MIN, seq))
+        producer = sim.producers.get(seq)
+        if producer is not None and not sim.issued[producer]:
+            hints.append((WAKE_ISSUE, producer))
+        return hints
+
 
 class PerfectSyncPolicy(SpeculationPolicy):
     """Perfect prediction and synchronization (upper bound)."""
@@ -125,6 +179,12 @@ class PerfectSyncPolicy(SpeculationPolicy):
 
     def may_issue_load(self, seq, now):
         return not self.sim.producer_pending(seq)
+
+    def deny_hints(self, seq, now):
+        producer = self.sim.producers.get(seq)
+        if producer is None:
+            return None
+        return [(WAKE_ISSUE, producer)]
 
 
 class MechanismPolicy(SpeculationPolicy):
@@ -271,11 +331,24 @@ class MechanismPolicy(SpeculationPolicy):
             return True
         return False
 
+    def deny_hints(self, seq, now):
+        # read *after* may_issue_load mutated the load's status
+        wake = self._wake_time[seq]
+        if wake > 0:
+            return [(WAKE_TIME, wake)]
+        # parked on the MDST: a store signal arrives through wake_load
+        # (which dirties the stage directly); the forced-release
+        # fallback fires once every prior store has executed
+        return [(WAKE_EXEC_MIN, seq)]
+
     def wake_load(self, seq, now):
         """A store signalled this parked load: it may run next cycle."""
         self.sim.classify_load(seq, "yy")
         self._defer(seq, "reward_all", seq)
         self._wake_time[seq] = now + 1
+        note = getattr(self.sim, "note_load_wake", None)
+        if note is not None:  # facade sims in tests lack the scheduler
+            note(seq)
 
     def on_store_issued(self, seq, now):
         """The paper signals when the store is ready to access memory
@@ -546,6 +619,15 @@ class StoreSetPolicy(SpeculationPolicy):
             del self._wait_for[seq]
             return True
         return False
+
+    def deny_hints(self, seq, now):
+        dep = self._wait_for.get(seq)
+        if dep is None:
+            return None
+        sim = self.sim
+        if sim.issued[dep]:
+            return [(WAKE_TIME, sim._store_perform[dep])]
+        return [(WAKE_ISSUE, dep), (WAKE_EXEC_MIN, seq)]
 
     def on_store_issued(self, seq, now):
         self.predictor.store_issued(self.sim.trace[seq].pc, seq)

@@ -25,12 +25,24 @@ import heapq
 from typing import Dict, List, Optional
 
 from repro.core.stats import SpeculationStats
+from repro.frontend.static_index import FU_ORDER, NUM_FU_CLASSES, TraceIndex
 from repro.memsys.cache import BankedCache
 from repro.memsys.icache import InstructionCache
 from repro.multiscalar.config import MultiscalarConfig
-from repro.multiscalar.policies import AlwaysPolicy, SpeculationPolicy
+from repro.multiscalar.policies import (
+    WAKE_ADDR_MIN,
+    WAKE_COMMIT,
+    WAKE_EXEC_MIN,
+    WAKE_ISSUE,
+    WAKE_RESOLVE,
+    WAKE_TIME,
+    AlwaysPolicy,
+    SpeculationPolicy,
+)
 from repro.multiscalar.sequencer import PathBasedTaskPredictor
 from repro.telemetry import NULL_TELEMETRY
+
+_INF = float("inf")
 
 
 class SimulationError(Exception):
@@ -72,10 +84,15 @@ class MultiscalarSimulator:
         config=None,
         policy: Optional[SpeculationPolicy] = None,
         telemetry=None,
+        share_index=True,
     ):
         self.trace = trace
         self.config = config or MultiscalarConfig()
         self.policy = policy or AlwaysPolicy()
+        # share_index=True adopts the trace's memoized TraceIndex, so a
+        # grid of simulators over one trace builds the static structures
+        # once; False forces a private rebuild (benchmarks, paranoia)
+        self._share_index = share_index
         self.cache = BankedCache(self.config.make_cache_config())
         self.stats = SpeculationStats()
         # instrumentation is opt-in: the null default makes every sink
@@ -91,108 +108,44 @@ class MultiscalarSimulator:
     # ------------------------------------------------------------------
 
     def _prepare_static(self):
+        """Adopt (or build) the trace's static index.
+
+        Everything here is a function of the trace alone; the
+        :class:`~repro.frontend.static_index.TraceIndex` memoized on the
+        trace lets a whole experiment grid share one copy.  The aliases
+        keep the simulator's historical attribute names (policies and
+        tests read them), and the ``_c_*`` names are the columnar views
+        the hot loops index by ``seq``.
+        """
         trace = self.trace
-        entries = trace.entries
-        n = len(entries)
-        self.n = n
-
-        # tasks
-        self.tasks: List[List[int]] = [
-            [e.seq for e in slice_] for slice_ in trace.task_slices()
-        ]
-        self.n_tasks = len(self.tasks)
-        self.task_of = [0] * n
-        self.index_in_task = [0] * n
-        self.task_pcs = [0] * self.n_tasks
-        for t, seqs in enumerate(self.tasks):
-            self.task_pcs[t] = entries[seqs[0]].task_pc
-            for idx, seq in enumerate(seqs):
-                self.task_of[seq] = t
-                self.index_in_task[seq] = idx
-
-        # register dataflow per source operand: (register, producer seq or
-        # None, penultimate-writer seq or None).  The non-oracle register
-        # models also need the producer -> consumers map (violation
-        # detection) and per-task-entry static write-sets (conservative
-        # maybe-writer stalls).
-        reg_mode = self.config.register_speculation
-        last_writer: Dict[int, int] = {}
-        prev_writer: Dict[int, Optional[int]] = {}
-        self.src_operands: List[tuple] = [()] * n
-        self.src_producers: List[tuple] = [()] * n
-        self.reg_dependents: Dict[int, List[int]] = {}
-        for entry in entries:
-            inst = entry.inst
-            operands = []
-            for reg in inst.sources():
-                if reg == 0:
-                    continue
-                producer = last_writer.get(reg)
-                operands.append((reg, producer, prev_writer.get(reg)))
-                if reg_mode in ("always", "predict") and producer is not None:
-                    self.reg_dependents.setdefault(producer, []).append(entry.seq)
-            self.src_operands[entry.seq] = tuple(operands)
-            self.src_producers[entry.seq] = tuple(
-                producer for _, producer, _ in operands if producer is not None
-            )
-            rd = inst.rd
-            if rd is not None and rd != 0:
-                prev_writer[rd] = last_writer.get(rd)
-                last_writer[rd] = entry.seq
-
-        # static write-set per task entry PC: the registers any dynamic
-        # instance of that task writes (what a conservative machine must
-        # assume the task may write)
-        self.task_writesets: Dict[int, frozenset] = {}
-        if reg_mode == "conservative":
-            draft: Dict[int, set] = {}
-            for task_id, seqs in enumerate(self.tasks):
-                regs = draft.setdefault(self.task_pcs[task_id], set())
-                for seq in seqs:
-                    rd = entries[seq].inst.rd
-                    if rd is not None and rd != 0:
-                        regs.add(rd)
-            self.task_writesets = {
-                pc: frozenset(regs) for pc, regs in draft.items()
-            }
-
-        # memory dependence oracle
-        self.producers = trace.load_producers()
-        self.dependents: Dict[int, List[int]] = {}
-        for load_seq, store_seq in self.producers.items():
-            if store_seq is not None:
-                self.dependents.setdefault(store_seq, []).append(load_seq)
-        for lst in self.dependents.values():
-            lst.sort()
-
-        # per-load list of earlier same-task stores (intra-task gating)
-        self.prior_task_stores: Dict[int, List[int]] = {}
-        for seqs in self.tasks:
-            stores_so_far: List[int] = []
-            for seq in seqs:
-                entry = entries[seq]
-                if entry.is_load and stores_so_far:
-                    self.prior_task_stores[seq] = list(stores_so_far)
-                if entry.is_store:
-                    stores_so_far.append(seq)
-
-        self.all_store_seqs = [e.seq for e in entries if e.is_store]
-
-        # address-generation dataflow for stores: the base register only
-        # (a store's address resolves before its data arrives, which is
-        # what the NEVER/WAIT policies wait on)
-        last_writer.clear()
-        self.addr_producer: Dict[int, Optional[int]] = {}
-        for entry in entries:
-            inst = entry.inst
-            if entry.is_store:
-                base = inst.rs1
-                self.addr_producer[entry.seq] = (
-                    last_writer.get(base) if base != 0 else None
-                )
-            rd = inst.rd
-            if rd is not None and rd != 0:
-                last_writer[rd] = entry.seq
+        index_fn = getattr(trace, "index", None)
+        if self._share_index and index_fn is not None:
+            index = index_fn()
+        else:
+            index = TraceIndex(trace)
+        self._index = index
+        self.n = index.n
+        self.tasks = index.tasks
+        self.n_tasks = index.n_tasks
+        self.task_of = index.task_of
+        self.index_in_task = index.index_in_task
+        self.task_pcs = index.task_pcs
+        self.src_operands = index.src_operands
+        self.src_producers = index.src_producers
+        self.reg_dependents = index.reg_dependents
+        self.task_writesets = index.task_writesets
+        self.producers = index.producers
+        self.dependents = index.dependents
+        self.prior_task_stores = index.prior_task_stores
+        self.all_store_seqs = index.all_store_seqs
+        self.addr_producer = index.addr_producer
+        self._c_pc = index.pc
+        self._c_addr = index.addr
+        self._c_is_load = index.is_load
+        self._c_is_store = index.is_store
+        self._c_is_memory = index.is_memory
+        self._c_fu = index.fu_code
+        self._c_rd = index.rd
 
     # ------------------------------------------------------------------
     # helpers used by policies
@@ -252,7 +205,6 @@ class MultiscalarSimulator:
 
     def run(self) -> SpeculationStats:
         cfg = self.config
-        entries = self.trace.entries
         n = self.n
 
         self.done: List[Optional[int]] = [None] * n
@@ -280,6 +232,10 @@ class MultiscalarSimulator:
         )
         self._remaining = [len(seqs) for seqs in self.tasks]
         self._task_unissued: Dict[int, List[int]] = {}
+        # unissued entries per task.  The _task_unissued lists are
+        # compacted lazily, so their length overstates the real
+        # population; this counter is the authoritative one.
+        self._task_live = [0] * self.n_tasks
         self._head = 0
         self._next_dispatch = 0
         self._last_dispatch_time = -cfg.dispatch_latency
@@ -291,11 +247,51 @@ class MultiscalarSimulator:
             trace_sink = self.telemetry.trace
             for stage in range(cfg.stages):
                 trace_sink.thread_name(stage, "stage %d" % stage)
+
+        # event-driven issue scheduling: a stage is rescanned only when
+        # dirty (something observable happened) or its timed wake is due.
+        # Skipping is enabled only for the oracle register model — the
+        # speculative register models issue on stale values whose
+        # availability the wake plans do not track.
+        self._skip_enabled = (
+            cfg.scheduler == "event" and cfg.register_speculation == "oracle"
+        )
+        self._task_dirty = [True] * self.n_tasks
+        self._task_next_try: List[float] = [0] * self.n_tasks
+        # wake registries.  Every registration carries (task id, entry
+        # seq): firing unparks that entry and dirties its stage.
+        self._wake_on_issue: Dict[int, List[tuple]] = {}  # producer seq -> regs
+        self._resolve_watchers: Dict[int, List[tuple]] = {}  # store seq -> regs
+        self._addr_watchers: List[tuple] = []  # (threshold, task, seq) heap
+        self._exec_watchers: List[tuple] = []  # (threshold, task, seq) heap
+        self._commit_watchers: List[tuple] = []  # (task threshold, task, seq) heap
+        # per-entry parking: an entry whose denial produced a full wake
+        # plan is skipped by subsequent scans (even while its stage is
+        # otherwise active) until one of its conditions fires or its
+        # timed wake arrives.  Squash unparks everything it resets.
+        self._entry_parked = bytearray(n)
+        self._entry_wake: List[float] = [0.0] * n
+        # scan-prefix memo, one per task: the leading run of its
+        # unissued list known to be skippable (dead slots and entries
+        # parked strictly beyond *wake*).  ``pos`` list slots are
+        # skipped wholesale, entering the scan with ``considered``
+        # already counted; any unpark of an entry at or below ``last``
+        # (and any squash, compaction, or due timed wake) invalidates
+        # the memo back to a full scan.
+        nt_count = self.n_tasks
+        self._scan_pos = [0] * nt_count
+        self._scan_considered = [0] * nt_count
+        self._scan_wake: List[float] = [_INF] * nt_count
+        self._scan_last = [-1] * nt_count
+
+        # per-class limits and latencies as lists indexed by fu_code
+        self._fu_limits = [cfg.fu_counts[cls] for cls in FU_ORDER]
+        latencies = [cfg.fu_latencies[cls] for cls in FU_ORDER]
+
         self.policy.bind(self)
 
         now = 0
         idle_cycles = 0
-        latencies = cfg.fu_latencies
         while self._head < self.n_tasks:
             progressed = False
             progressed |= self._process_events(now)
@@ -365,7 +361,10 @@ class MultiscalarSimulator:
                 break
             self._dispatch_time[task_id] = now
             self._last_dispatch_time = now
+            self._task_dirty[task_id] = True
+            self._task_next_try[task_id] = now
             self._task_unissued[task_id] = list(self.tasks[task_id])
+            self._task_live[task_id] = len(self.tasks[task_id])
             if self._icaches is not None:
                 self._schedule_fetch(task_id, now)
             self._next_dispatch += 1
@@ -397,7 +396,7 @@ class MultiscalarSimulator:
             return False  # intra-task dependences use the scoreboard
         if mode == "always":
             return True
-        pair = (self.trace.entries[producer].pc, self.trace.entries[consumer_seq].pc)
+        pair = (self._c_pc[producer], self._c_pc[consumer_seq])
         return pair not in self._reg_learned
 
     def _maybe_writer_stall(self, reg, producer, task_id, now) -> bool:
@@ -446,11 +445,11 @@ class MultiscalarSimulator:
         icache = self._icaches[task_id % cfg.stages]
         cursor = dispatch_time
         seqs = self.tasks[task_id]
-        entries = self.trace.entries
+        c_pc = self._c_pc
         block = cfg.fetch_width
         last_line = None
         for group_start in range(0, len(seqs), block):
-            pc_addr = entries[seqs[group_start]].pc * 4
+            pc_addr = c_pc[seqs[group_start]] * 4
             line = pc_addr // icache.config.block_bytes
             if line != last_line:
                 latency = icache.access(pc_addr)
@@ -468,86 +467,147 @@ class MultiscalarSimulator:
             + self.index_in_task[seq] // self.config.fetch_width
         )
 
-    def _resolve_store_address(self, seq, task_id, now):
-        """Mark a store's address as known once its base register is ready."""
-        if now < self._issue_floor[task_id]:
-            return
+    def _resolve_store_address(self, seq, task_id, now, plan=None) -> bool:
+        """Mark a store's address as known once its base register is ready.
+
+        Returns True when the address resolved this cycle.  When *plan*
+        is given (event scheduling), each early-out appends the wake
+        condition under which resolution should be retried.  The caller
+        (:meth:`_issue_phase`) has already established that the store is
+        fetched and past its stage's issue floor.
+        """
         cfg = self.config
-        if self._fetch_ready(seq, task_id) > now:
-            return
         producer = self.addr_producer.get(seq)
         if producer is not None:
             done = self.done[producer]
             if done is None:
-                return
+                if plan is not None:
+                    plan.append((WAKE_ISSUE, producer))
+                return False
             avail = done
             producer_task = self.task_of[producer]
             if producer_task != task_id:
                 avail += cfg.ring_hop_latency * (task_id - producer_task)
             if avail + cfg.agen_latency > now:
-                return
-        self._unknown_addr_stores.discard(seq)
-
-    def _intra_task_gate(self, seq, addr, now) -> bool:
-        """Intra-task dependences are never speculated (Section 5)."""
-        for store_seq in self.prior_task_stores.get(seq, ()):
-            if store_seq in self._unknown_addr_stores:
+                if plan is not None:
+                    plan.append((WAKE_TIME, avail + cfg.agen_latency))
                 return False
-            if self.trace.entries[store_seq].addr == addr:
-                done = self.done[store_seq]
-                if done is None or done > now:
+        self._unknown_addr_stores.discard(seq)
+        if self._skip_enabled:
+            self._fire_addr_watchers()
+            self._fire_resolve_watchers(seq)
+        return True
+
+    def _intra_task_gate(self, seq, addr, now, plan=None) -> bool:
+        """Intra-task dependences are never speculated (Section 5)."""
+        unknown = self._unknown_addr_stores
+        c_addr = self._c_addr
+        done_arr = self.done
+        for store_seq in self.prior_task_stores.get(seq, ()):
+            if store_seq in unknown:
+                if plan is not None:
+                    plan.append((WAKE_RESOLVE, store_seq))
+                return False
+            if c_addr[store_seq] == addr:
+                done = done_arr[store_seq]
+                if done is None:
+                    if plan is not None:
+                        plan.append((WAKE_ISSUE, store_seq))
+                    return False
+                if done > now:
+                    if plan is not None:
+                        plan.append((WAKE_TIME, done))
                     return False
         return True
 
-    def _try_issue(self, seq, task_id, now, counters, latencies) -> bool:
-        if now < self._issue_floor[task_id]:
-            return False
-        entry = self.trace.entries[seq]
+    def _try_issue(self, seq, task_id, now, counters, latencies, plan=None) -> bool:
+        # fetch and issue-floor gating already happened in _issue_phase
         cfg = self.config
-        if self._fetch_ready(seq, task_id) > now:
+        if plan is not None:
+            # oracle-model fast path (skip mode implies the oracle
+            # register model): consumers wait exactly for their
+            # producers' ring-forwarded values
+            ready = 0
+            done_arr = self.done
+            task_of = self.task_of
+            hop = cfg.ring_hop_latency
+            for producer in self.src_producers[seq]:
+                done = done_arr[producer]
+                if done is None:
+                    plan.append((WAKE_ISSUE, producer))
+                    return False
+                producer_task = task_of[producer]
+                if producer_task != task_id:
+                    done += hop * (task_id - producer_task)
+                if done > ready:
+                    ready = done
+            if ready > now:
+                plan.append((WAKE_TIME, ready))
+                return False
+        else:
+            src_ready = self._source_ready_time(seq, task_id, now)
+            if src_ready < 0 or src_ready > now:
+                return False
+        fu = self._c_fu[seq]
+        if counters[fu] >= self._fu_limits[fu]:
+            # the scan already issued a full complement into this class;
+            # retry as soon as the units free (next cycle) — without
+            # this hint the entry could be parked on unrelated earlier
+            # hints (e.g. a store's address-resolution wake) and miss it
+            if plan is not None:
+                plan.append((WAKE_TIME, now + 1))
             return False
-        src_ready = self._source_ready_time(seq, task_id, now)
-        if src_ready < 0 or src_ready > now:
-            return False
-        cls = entry.inst.fu_class
-        if counters.get(cls, 0) >= cfg.fu_counts[cls]:
-            return False
-        if entry.is_load:
-            if not self._intra_task_gate(seq, entry.addr, now):
+        is_load = self._c_is_load[seq]
+        if is_load:
+            if not self._intra_task_gate(seq, self._c_addr[seq], now, plan):
                 return False
             if self._tel_on:
                 self._load_first_attempt.setdefault(seq, now)
             if not self.policy.may_issue_load(seq, now):
                 if self._tel_on:
                     self.telemetry.metrics.counter("policy.load_denials").inc()
+                if plan is not None:
+                    hints = self.policy.deny_hints(seq, now)
+                    if hints:
+                        plan.extend(hints)
+                    else:
+                        # the policy does not model its wake conditions:
+                        # re-ask every cycle (legacy behavior)
+                        plan.append((WAKE_TIME, now + 1))
                 return False
             if self._tel_on:
                 self.telemetry.metrics.counter("policy.load_grants").inc()
-        if entry.is_memory:
-            completion = self.cache.access(entry.addr, now + cfg.agen_latency)
+        if self._c_is_memory[seq]:
+            completion = self.cache.access(self._c_addr[seq], now + cfg.agen_latency)
         else:
-            completion = now + latencies[cls]
-        counters[cls] = counters.get(cls, 0) + 1
+            completion = now + latencies[fu]
+        counters[fu] += 1
         self.issued[seq] = True
         self.issue_time[seq] = now
         self.done[seq] = completion
-        if entry.is_store:
+        if self._skip_enabled:
+            self._fire_issue_wakes(seq)
+        if self._c_is_store[seq]:
             self._unissued_stores.discard(seq)
             self._unknown_addr_stores.discard(seq)
+            if self._skip_enabled:
+                self._fire_addr_watchers()
+                self._fire_resolve_watchers(seq)
             self._store_perform[seq] = now + 1
             self.policy.on_store_issued(seq, now)
-        if self._tel_on and entry.is_load:
+        if self._tel_on and is_load:
             first = self._load_first_attempt.pop(seq, now)
             wait = now - first
+            pc = self._c_pc[seq]
             self.telemetry.metrics.histogram("load.wait_cycles").observe(wait)
             if wait > 0:
                 self.telemetry.trace.complete(
-                    "load stall pc=%d" % entry.pc,
+                    "load stall pc=%d" % pc,
                     ts=first,
                     dur=wait,
                     tid=task_id % self.config.stages,
                     cat="stall",
-                    args={"seq": seq, "pc": entry.pc, "task": task_id},
+                    args={"seq": seq, "pc": pc, "task": task_id},
                 )
         heapq.heappush(self._events, (completion, seq, self._epoch[seq]))
         return True
@@ -555,58 +615,315 @@ class MultiscalarSimulator:
     def _issue_phase(self, now, latencies) -> bool:
         progressed = False
         cfg = self.config
+        rs_window = cfg.rs_window
+        issue_width = cfg.issue_width
+        skip = self._skip_enabled
+        dirty = self._task_dirty
+        next_try = self._task_next_try
+        unknown_addr = self._unknown_addr_stores
+        issued_flags = self.issued
+        live = self._task_live
+        fetch_width = cfg.fetch_width
+        index_in_task = self.index_in_task
+        c_is_store = self._c_is_store
+        parked = self._entry_parked
+        entry_wake = self._entry_wake
+        scan_pos = self._scan_pos
+        scan_considered = self._scan_considered
+        scan_wake = self._scan_wake
+        scan_last = self._scan_last
+        shared_hints: List[tuple] = []
         for task_id in range(self._head, self._next_dispatch):
+            if skip:
+                if not dirty[task_id] and next_try[task_id] > now:
+                    continue
+                dirty[task_id] = False
             if self._dispatch_time[task_id] > now:
                 continue
-            unissued = self._task_unissued[task_id]
-            if not unissued:
+            if not live[task_id]:
+                if skip:
+                    # nothing in flight for this stage; only a squash
+                    # (which dirties every stage) can repopulate it
+                    next_try[task_id] = _INF
                 continue
-            counters: Dict[object, int] = {}
+            floor = self._issue_floor[task_id]
+            if floor > now:
+                # provably a no-op scan: nothing may issue or resolve
+                # before the post-squash restart floor
+                if skip:
+                    next_try[task_id] = floor
+                continue
+            unissued = self._task_unissued[task_id]
+            counters = [0] * NUM_FU_CLASSES
             issued_count = 0
-            kept: List[int] = []
-            considered = 0
-            for pos, seq in enumerate(unissued):
-                if self.issued[seq]:
-                    continue  # compaction
+            resolved = False
+            unparked = 0  # denials without a full wake plan
+            nt_plan = _INF  # earliest timed rescan of this stage
+            # fetch gating, hoisted out of the per-entry helpers: fetch
+            # times are nondecreasing in program order within a task
+            # (sequential fetch), so the first unfetched entry ends the
+            # scan — nothing behind it can issue or resolve this cycle
+            fetch_times = self._fetch_time if self._icaches is not None else None
+            dispatch = self._dispatch_time[task_id]
+            # without an i-cache the fetch time is a pure function of
+            # position: entries at index >= fetch_limit are not fetched
+            # yet, so one comparison replaces the per-entry division
+            fetch_limit = (now - dispatch + 1) * fetch_width
+            # resume past the memoized skippable prefix (invalid once
+            # its earliest timed wake is due)
+            pfx_pos = scan_pos[task_id]
+            pfx_wake = scan_wake[task_id]
+            if pfx_pos and now >= pfx_wake:
+                pfx_pos = 0
+                pfx_wake = _INF
+            if pfx_pos:
+                considered = scan_considered[task_id]
+                new_last = scan_last[task_id]
+                if pfx_wake < nt_plan:
+                    nt_plan = pfx_wake
+                entries = unissued[pfx_pos:]
+            else:
+                considered = 0
+                new_last = -1
+                entries = unissued
+            new_pos = pfx_pos
+            new_considered = considered
+            new_wake = pfx_wake
+            growing = True  # still extending the skippable prefix
+            for seq in entries:
+                if issued_flags[seq]:
+                    if growing:
+                        new_pos += 1
+                    continue  # dead entry awaiting compaction
                 considered += 1
-                if considered <= cfg.rs_window and seq in self._unknown_addr_stores:
-                    self._resolve_store_address(seq, task_id, now)
-                if considered > cfg.rs_window or issued_count >= cfg.issue_width:
-                    kept.append(seq)
-                    kept.extend(
-                        s for s in unissued[pos + 1 :] if not self.issued[s]
-                    )
+                if skip and parked[seq]:
+                    wake = entry_wake[seq]
+                    if wake > now:
+                        # none of its wake conditions have fired yet,
+                        # but the per-cycle scan would still *count*
+                        # this entry — and end the whole scan here once
+                        # the window or width is exhausted, keeping
+                        # later stores from resolving this cycle
+                        if considered > rs_window or issued_count >= issue_width:
+                            break
+                        if wake < nt_plan:
+                            nt_plan = wake
+                        if growing:
+                            new_pos += 1
+                            new_considered = considered
+                            if wake < new_wake:
+                                new_wake = wake
+                            new_last = seq
+                        continue
+                    parked[seq] = 0  # its timed wake is due: rescan
+                growing = False
+                if fetch_times is None:
+                    if index_in_task[seq] >= fetch_limit:
+                        fetch = dispatch + index_in_task[seq] // fetch_width
+                        if fetch < nt_plan:
+                            nt_plan = fetch
+                        break
+                else:
+                    fetch = fetch_times.get(seq, dispatch)
+                    if fetch > now:
+                        if fetch < nt_plan:
+                            nt_plan = fetch
+                        break
+                if skip:
+                    del shared_hints[:]  # consumed synchronously by _park
+                    hints: Optional[List[tuple]] = shared_hints
+                else:
+                    hints = None
+                if (
+                    considered <= rs_window
+                    and c_is_store[seq]
+                    and seq in unknown_addr
+                ):
+                    if self._resolve_store_address(seq, task_id, now, hints):
+                        resolved = True
+                if considered > rs_window or issued_count >= issue_width:
                     break
-                if self._try_issue(seq, task_id, now, counters, latencies):
+                if self._try_issue(seq, task_id, now, counters, latencies, hints):
                     issued_count += 1
                     progressed = True
+                elif skip:
+                    if hints:
+                        wake = self._park(seq, task_id, hints, now)
+                        if wake is None:
+                            unparked += 1
+                        elif wake < nt_plan:
+                            nt_plan = wake
+                    else:
+                        # the deny produced no wake condition; fall
+                        # back to per-cycle rescans for this entry
+                        unparked += 1
+            scan_pos[task_id] = new_pos
+            scan_considered[task_id] = new_considered
+            scan_wake[task_id] = new_wake
+            scan_last[task_id] = new_last
+            if issued_count:
+                remaining = live[task_id] - issued_count
+                live[task_id] = remaining
+                if len(unissued) - remaining >= 64 and remaining * 2 < len(unissued):
+                    # mostly dead: compact so later scans stay short
+                    self._task_unissued[task_id] = [
+                        s for s in unissued if not issued_flags[s]
+                    ]
+                    # list positions shifted: the prefix memo is stale
+                    scan_pos[task_id] = 0
+                    scan_considered[task_id] = 0
+                    scan_wake[task_id] = _INF
+                    scan_last[task_id] = -1
+            if skip:
+                if issued_count or resolved or unparked:
+                    # state changed, or an unparked entry needs the
+                    # legacy per-cycle rescan
+                    next_try[task_id] = now + 1
+                elif nt_plan < _INF:
+                    next_try[task_id] = nt_plan if nt_plan > now else now + 1
                 else:
-                    kept.append(seq)
-            self._task_unissued[task_id] = kept
+                    # empty, or every pending entry is parked on a wake
+                    # condition that will dirty this stage when it fires
+                    next_try[task_id] = _INF
         return progressed
+
+    # -- event-driven scheduling ----------------------------------------------
+
+    def _park(self, seq, task_id, hints, now) -> Optional[float]:
+        """Register a denied entry's wake conditions and park it.
+
+        The hint list is a disjunction: the entry is unparked (and its
+        stage dirtied) when *any* condition fires.  Returns the entry's
+        earliest timed wake (``_INF`` when purely event-driven), or
+        None when the entry could not be parked — a condition was
+        already satisfied at registration time (the watched instruction
+        issued or a threshold was crossed later in this very cycle), or
+        every hint was a timed wake that is already due.  The caller
+        then falls back to rescanning the entry next cycle, closing the
+        fire-before-register race.
+        """
+        nt = _INF
+        for kind, arg in hints:
+            if kind == WAKE_TIME:
+                if arg < nt:
+                    nt = arg
+            elif kind == WAKE_ISSUE:
+                if self.issued[arg]:
+                    return None
+                self._wake_on_issue.setdefault(arg, []).append((task_id, seq))
+            elif kind == WAKE_RESOLVE:
+                if arg not in self._unknown_addr_stores:
+                    return None
+                self._resolve_watchers.setdefault(arg, []).append((task_id, seq))
+            elif kind == WAKE_ADDR_MIN:
+                m = self._unknown_addr_stores.minimum()
+                if m is None or m >= arg:
+                    return None
+                heapq.heappush(self._addr_watchers, (arg, task_id, seq))
+            elif kind == WAKE_EXEC_MIN:
+                m = self._unexecuted_stores.minimum()
+                if m is None or m >= arg:
+                    return None
+                heapq.heappush(self._exec_watchers, (arg, task_id, seq))
+            elif kind == WAKE_COMMIT:
+                if self._head > arg:
+                    return None
+                heapq.heappush(self._commit_watchers, (arg, task_id, seq))
+        if nt <= now:
+            return None
+        self._entry_wake[seq] = nt
+        self._entry_parked[seq] = 1
+        return nt
+
+    def _unpark(self, task_id, s):
+        """Unpark entry *s*, dirty its stage, and drop the stage's scan
+        prefix if the entry sits inside it."""
+        self._entry_parked[s] = 0
+        self._task_dirty[task_id] = True
+        if s <= self._scan_last[task_id]:
+            self._scan_pos[task_id] = 0
+            self._scan_considered[task_id] = 0
+            self._scan_wake[task_id] = _INF
+            self._scan_last[task_id] = -1
+
+    def _fire_issue_wakes(self, seq):
+        watchers = self._wake_on_issue.pop(seq, None)
+        if watchers:
+            for task_id, s in watchers:
+                self._unpark(task_id, s)
+
+    def _fire_resolve_watchers(self, store_seq):
+        watchers = self._resolve_watchers.pop(store_seq, None)
+        if watchers:
+            for task_id, s in watchers:
+                self._unpark(task_id, s)
+
+    def _fire_addr_watchers(self):
+        heap = self._addr_watchers
+        if not heap:
+            return
+        m = self._unknown_addr_stores.minimum()
+        while heap and (m is None or heap[0][0] <= m):
+            _, task_id, s = heapq.heappop(heap)
+            self._unpark(task_id, s)
+
+    def _fire_exec_watchers(self):
+        heap = self._exec_watchers
+        if not heap:
+            return
+        m = self._unexecuted_stores.minimum()
+        while heap and (m is None or heap[0][0] <= m):
+            _, task_id, s = heapq.heappop(heap)
+            self._unpark(task_id, s)
+
+    def _fire_commit_watchers(self):
+        heap = self._commit_watchers
+        if not heap:
+            return
+        head = self._head
+        while heap and heap[0][0] < head:
+            _, task_id, s = heapq.heappop(heap)
+            self._unpark(task_id, s)
+
+    def note_load_wake(self, seq):
+        """Policy callback: a store signal will release load *seq* next
+        cycle — unpark it and rescan its stage (an event-scheduler wake
+        the generic hints cannot express)."""
+        if self._skip_enabled:
+            self._unpark(self.task_of[seq], seq)
 
     # -- completion events ---------------------------------------------------
 
     def _process_events(self, now) -> bool:
         progressed = False
         events = self._events
+        epochs = self._epoch
+        issued = self.issued
+        completed = self._completed
+        remaining = self._remaining
+        task_of = self.task_of
+        c_is_store = self._c_is_store
+        reg_violations = self._reg_spec_mode in ("always", "predict")
+        store_completed = False
         while events and events[0][0] <= now:
             time, seq, epoch = heapq.heappop(events)
-            if epoch != self._epoch[seq] or not self.issued[seq]:
+            if epoch != epochs[seq] or not issued[seq]:
                 continue  # stale (squashed) event
             progressed = True
-            self._completed[seq] = True
-            self._remaining[self.task_of[seq]] -= 1
-            entry = self.trace.entries[seq]
-            if entry.is_store:
+            completed[seq] = True
+            remaining[task_of[seq]] -= 1
+            if c_is_store[seq]:
                 self._unexecuted_stores.discard(seq)
+                store_completed = True
                 violator = self._find_violation(seq, time)
                 if violator is not None:
                     self._handle_violation(seq, violator, time)
-            if self._reg_spec_mode in ("always", "predict") and entry.inst.rd not in (None, 0):
+            if reg_violations and self._c_rd[seq] > 0:
                 violator = self._find_register_violation(seq, time)
                 if violator is not None:
                     self._handle_register_violation(seq, violator, time)
+        if store_completed and self._skip_enabled:
+            self._fire_exec_watchers()
         return progressed
 
     def _find_register_violation(self, producer, time) -> Optional[int]:
@@ -648,14 +965,11 @@ class MultiscalarSimulator:
                 tid=self.task_of[consumer] % self.config.stages,
                 cat="violation",
                 args={
-                    "producer_pc": self.trace.entries[producer].pc,
-                    "consumer_pc": self.trace.entries[consumer].pc,
+                    "producer_pc": self._c_pc[producer],
+                    "consumer_pc": self._c_pc[consumer],
                 },
             )
-        pair = (
-            self.trace.entries[producer].pc,
-            self.trace.entries[consumer].pc,
-        )
+        pair = (self._c_pc[producer], self._c_pc[consumer])
         self._reg_learned.add(pair)
         restart = time + self.config.squash_penalty
         self._squash_from_seq(consumer, restart)
@@ -685,17 +999,17 @@ class MultiscalarSimulator:
         self.stats.mis_speculations += 1
         self.stats.breakdown.ny += 1
         if self._tel_on:
-            entries = self.trace.entries
+            c_pc = self._c_pc
             self.telemetry.metrics.counter("sim.mis_speculations").inc()
             self.telemetry.trace.instant(
                 "violation store@%d->load@%d"
-                % (entries[store_seq].pc, entries[load_seq].pc),
+                % (c_pc[store_seq], c_pc[load_seq]),
                 ts=time,
                 tid=self.task_of[load_seq] % self.config.stages,
                 cat="violation",
                 args={
-                    "store_pc": entries[store_seq].pc,
-                    "load_pc": entries[load_seq].pc,
+                    "store_pc": c_pc[store_seq],
+                    "load_pc": c_pc[load_seq],
                     "distance": self.task_of[load_seq] - self.task_of[store_seq],
                 },
             )
@@ -718,12 +1032,15 @@ class MultiscalarSimulator:
         cfg = self.config
         first_task = self.task_of[first_seq]
         squashed_before = self.stats.squashed_instructions
+        c_is_store = self._c_is_store
+        parked = self._entry_parked
         for task_id in range(first_task, self._next_dispatch):
             reset_any = False
             for seq in self.tasks[task_id]:
                 if seq < first_seq:
                     continue
                 reset_any = True
+                parked[seq] = 0  # stale wake registrations must not gate re-issue
                 if self.issued[seq]:
                     self.stats.squashed_instructions += 1
                 if self._completed[seq]:
@@ -736,18 +1053,27 @@ class MultiscalarSimulator:
                 self._pending_class.pop(seq, None)
                 if self._tel_on:
                     self._load_first_attempt.pop(seq, None)
-                entry = self.trace.entries[seq]
-                if entry.is_store:
+                if c_is_store[seq]:
                     self._unissued_stores.add(seq)
                     self._unexecuted_stores.add(seq)
                     self._unknown_addr_stores.add(seq)
             if not reset_any:
                 continue
-            self._task_unissued[task_id] = [
-                s for s in self.tasks[task_id] if not self.issued[s]
-            ]
+            rebuilt = [s for s in self.tasks[task_id] if not self.issued[s]]
+            self._task_unissued[task_id] = rebuilt
+            self._task_live[task_id] = len(rebuilt)
+            self._scan_pos[task_id] = 0
+            self._scan_considered[task_id] = 0
+            self._scan_wake[task_id] = _INF
+            self._scan_last[task_id] = -1
             offset = task_id - first_task
             self._issue_floor[task_id] = restart + offset * cfg.squash_stagger
+        if self._skip_enabled:
+            # everything at or after the squash point changed shape;
+            # re-scan every in-flight stage from scratch
+            dirty = self._task_dirty
+            for task_id in range(self._head, self._next_dispatch):
+                dirty[task_id] = True
         if self._tel_on:
             depth = self.stats.squashed_instructions - squashed_before
             self.telemetry.metrics.counter("sim.squashes").inc()
@@ -765,22 +1091,21 @@ class MultiscalarSimulator:
 
     def _try_commit(self, now) -> bool:
         progressed = False
+        c_is_load = self._c_is_load
+        c_is_store = self._c_is_store
         while self._head < self.n_tasks and self._remaining[self._head] == 0:
             task_id = self._head
+            stats = self.stats
+            breakdown = stats.breakdown
             for seq in self.tasks[task_id]:
-                entry = self.trace.entries[seq]
-                self.stats.committed_instructions += 1
-                if entry.is_load:
-                    self.stats.committed_loads += 1
+                stats.committed_instructions += 1
+                if c_is_load[seq]:
+                    stats.committed_loads += 1
                     bucket = self._pending_class.pop(seq, "nn")
-                    setattr(
-                        self.stats.breakdown,
-                        bucket,
-                        getattr(self.stats.breakdown, bucket) + 1,
-                    )
-                elif entry.is_store:
-                    self.stats.committed_stores += 1
-            self.stats.tasks_committed += 1
+                    setattr(breakdown, bucket, getattr(breakdown, bucket) + 1)
+                elif c_is_store[seq]:
+                    stats.committed_stores += 1
+            stats.tasks_committed += 1
             if self._tel_on:
                 dispatch = self._dispatch_time[task_id]
                 self.telemetry.trace.complete(
@@ -797,6 +1122,8 @@ class MultiscalarSimulator:
             self.policy.on_task_committed(task_id, now)
             self._head += 1
             progressed = True
+            if self._skip_enabled:
+                self._fire_commit_watchers()
         return progressed
 
     # -- time management --------------------------------------------------------
@@ -823,7 +1150,7 @@ class MultiscalarSimulator:
             if dt is not None and dt > now:
                 candidates.append(dt)
             floor = self._issue_floor[task_id]
-            if floor > now and self._task_unissued.get(task_id):
+            if floor > now and self._task_live[task_id]:
                 candidates.append(floor)
         future = [c for c in candidates if c > now]
         return min(future) if future else None

@@ -117,28 +117,29 @@ class DependenceProfile:
 
 def profile_dependences(trace) -> DependenceProfile:
     """Build the dependence profile of a trace."""
-    producers = trace.load_producers()
-    entries = trace.entries
+    # walk only the loads, through the shared columnar index
+    index = trace.index()
+    producers = index.producers
+    c_pc = index.pc
+    c_task = index.task_id
+    c_addr = index.addr
     pairs: Dict[Tuple[int, int], PairProfile] = {}
     dependent = 0
-    total = 0
-    for entry in entries:
-        if not entry.is_load:
-            continue
-        total += 1
-        store_seq = producers[entry.seq]
+    load_seqs = index.load_seqs
+    total = len(load_seqs)
+    for seq in load_seqs:
+        store_seq = producers[seq]
         if store_seq is None:
             continue
         dependent += 1
-        store = entries[store_seq]
-        key = (store.pc, entry.pc)
+        key = (c_pc[store_seq], c_pc[seq])
         profile = pairs.get(key)
         if profile is None:
-            profile = pairs[key] = PairProfile(store.pc, entry.pc)
+            profile = pairs[key] = PairProfile(key[0], key[1])
         profile.dynamic_count += 1
-        profile.instruction_distances[entry.seq - store.seq] += 1
-        profile.task_distances[entry.task_id - store.task_id] += 1
-        profile.addresses[entry.addr] += 1
+        profile.instruction_distances[seq - store_seq] += 1
+        profile.task_distances[c_task[seq] - c_task[store_seq]] += 1
+        profile.addresses[c_addr[seq]] += 1
     return DependenceProfile(
         trace_name=trace.name,
         pairs=pairs,

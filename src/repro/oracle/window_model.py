@@ -70,22 +70,24 @@ def analyze_window(trace, window_size) -> WindowResult:
     """Run the unrealistic OoO model over *trace* for one window size."""
     if window_size <= 0:
         raise ValueError("window size must be positive, got %r" % (window_size,))
-    producers = trace.load_producers()
+    # iterate the shared columnar index (loads only) instead of every
+    # TraceEntry: the model touches each dynamic load once per window
+    # size, so the attribute chains dominated its runtime
+    index = trace.index()
+    producers = index.producers
+    c_pc = index.pc
     pair_counts: Dict[Tuple[int, int], int] = {}
     events: List[Tuple[int, int]] = []
     mis_speculations = 0
-    loads = 0
-    entries = trace.entries
-    for entry in entries:
-        if not entry.is_load:
-            continue
-        loads += 1
-        store_seq = producers[entry.seq]
+    load_seqs = index.load_seqs
+    loads = len(load_seqs)
+    for seq in load_seqs:
+        store_seq = producers[seq]
         if store_seq is None:
             continue
-        if entry.seq - store_seq < window_size:
+        if seq - store_seq < window_size:
             mis_speculations += 1
-            pair = (entries[store_seq].pc, entry.pc)
+            pair = (c_pc[store_seq], c_pc[seq])
             pair_counts[pair] = pair_counts.get(pair, 0) + 1
             events.append(pair)
     return WindowResult(

@@ -66,6 +66,22 @@ class ProfileScope:
         return False
 
 
+#: Canonical pipeline phases, in pipeline order.
+PHASES = ("interpret", "simulate", "report")
+
+#: Scope-name -> pipeline-phase mapping.  Scopes absent from the map
+#: (roll-ups like ``total`` or ``experiment:<key>``) stay out of the
+#: phase breakdown so phase seconds never double-count.
+PHASE_OF = {
+    "trace-gen": "interpret",
+    "simulate": "simulate",
+    "dependence-profile": "report",
+    "window-analysis": "report",
+    "static-analysis": "report",
+    "symbolic-analysis": "report",
+}
+
+
 class Profiler:
     """An append-only log of completed scopes."""
 
@@ -97,15 +113,53 @@ class Profiler:
             agg["seconds"] = round(agg["seconds"], 6)
         return out
 
-    def to_text(self, since=0) -> str:
-        """Render the aggregate, widest scope first."""
+    def phases(self, since=0) -> Dict[str, dict]:
+        """Cumulative wall time per pipeline phase.
+
+        Folds the recorded scope names into the canonical pipeline
+        phases (:data:`PHASES`: interpret, simulate, report) via
+        :data:`PHASE_OF`.  Roll-up scopes are excluded, so phase
+        seconds sum to at most the total.  Only phases with at least
+        one record appear.
+        """
+        out: Dict[str, dict] = {}
+        for name, agg in self.summary(since).items():
+            phase = PHASE_OF.get(name)
+            if phase is None:
+                continue
+            acc = out.setdefault(phase, {"calls": 0, "seconds": 0.0})
+            acc["calls"] += agg["calls"]
+            acc["seconds"] = round(acc["seconds"] + agg["seconds"], 6)
+        return {p: out[p] for p in PHASES if p in out}
+
+    def to_text(self, since=0, top=None) -> str:
+        """Render the aggregate, widest scope first.
+
+        With *top*, only the *top* widest scopes are listed (a trailing
+        line notes how many were elided).  The per-phase cumulative
+        breakdown is appended whenever any scope maps to a phase.
+        """
         summary = self.summary(since)
         if not summary:
             return "(no profile records)"
         width = max(len(name) for name in summary)
         lines = ["%-*s %9s %6s" % (width, "scope", "seconds", "calls")]
-        for name, agg in sorted(summary.items(), key=lambda kv: -kv[1]["seconds"]):
+        rows = sorted(summary.items(), key=lambda kv: -kv[1]["seconds"])
+        shown = rows if top is None else rows[: max(1, top)]
+        for name, agg in shown:
             lines.append("%-*s %9.4f %6d" % (width, name, agg["seconds"], agg["calls"]))
+        elided = len(rows) - len(shown)
+        if elided > 0:
+            lines.append("(%d more scope%s)" % (elided, "s" if elided != 1 else ""))
+        phases = self.phases(since)
+        if phases:
+            total = sum(agg["seconds"] for agg in phases.values())
+            lines.append("phase breakdown:")
+            for phase, agg in phases.items():
+                share = 100.0 * agg["seconds"] / total if total else 0.0
+                lines.append(
+                    "  %-9s %9.4f %5.1f%%" % (phase, agg["seconds"], share)
+                )
         return "\n".join(lines)
 
     def to_trace_events(self, since=0) -> dict:

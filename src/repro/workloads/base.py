@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Tuple
 
-from repro.frontend import run_program
+from repro.frontend import cached_run_program
 from repro.frontend.trace import Trace
 from repro.isa.program import Program
 
@@ -78,8 +78,16 @@ class Workload:
         return self.build(scale)
 
     def trace(self, scale="ref", max_instructions=5_000_000) -> Trace:
-        """Assemble and interpret this workload, returning its trace."""
-        return run_program(self.program(scale), max_instructions=max_instructions)
+        """Assemble and interpret this workload, returning its trace.
+
+        Routed through the process-global content-addressed trace cache
+        (:mod:`repro.frontend.trace_cache`): repeated calls — including
+        from freshly forked executor workers — reuse the interpreted
+        trace instead of re-running the interpreter.
+        """
+        return cached_run_program(
+            self.program(scale), max_instructions=max_instructions
+        )
 
 
 _REGISTRY: Dict[str, Workload] = {}

@@ -1,6 +1,9 @@
 """Tests for Trace utilities and the true-dependence oracle."""
 
+import pickle
+
 from repro.frontend import run_program
+from repro.frontend.trace import Trace, TraceEntry
 from repro.isa import Assembler
 
 
@@ -94,6 +97,34 @@ def test_producers_cached_and_stable():
     first = trace.load_producers()
     second = trace.load_producers()
     assert first is second
+
+
+def test_trace_and_entries_use_slots():
+    trace = make_store_load_chain()
+    assert not hasattr(trace, "__dict__")
+    assert not hasattr(trace[0], "__dict__")
+    assert Trace.__slots__ and TraceEntry.__slots__
+
+
+def test_pickle_round_trip_preserves_entries_and_drops_memos():
+    trace = make_store_load_chain()
+    # populate both memoized derivations before pickling
+    trace.load_producers()
+    trace.index()
+    clone = pickle.loads(pickle.dumps(trace))
+    # memos are rebuilt lazily, not shipped
+    assert clone._load_producers is None
+    assert clone._index is None
+    assert len(clone) == len(trace)
+    for original, copied in zip(trace, clone):
+        for slot in TraceEntry.__slots__:
+            if slot == "inst":
+                assert copied.inst.pc == original.inst.pc
+                assert copied.inst.op == original.inst.op
+            else:
+                assert getattr(copied, slot) == getattr(original, slot)
+    assert clone.load_producers() == trace.load_producers()
+    assert clone.index().producers == trace.index().producers
 
 
 def test_trace_indexing_and_repr():

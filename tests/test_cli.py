@@ -189,6 +189,37 @@ def test_profile_command_json(capsys, tmp_path):
     assert {"total", "trace-gen", "simulate"} <= names
 
 
+def test_profile_command_top_limits_scopes(capsys):
+    assert main([
+        "profile", "sc", "--scale", "tiny", "-n", "4", "--top", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    scope_lines = [
+        line for line in out.splitlines()
+        if line.startswith(("total ", "trace-gen ", "simulate ", "dependence-profile "))
+    ]
+    assert len(scope_lines) == 1
+    assert "more scope" in out
+
+
+def test_profile_command_phase_breakdown(capsys):
+    assert main(["profile", "sc", "--scale", "tiny", "-n", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "phase breakdown:" in out
+    for phase in ("interpret", "simulate", "report"):
+        assert phase in out
+
+
+def test_profile_command_json_phases(capsys):
+    assert main(["profile", "sc", "--scale", "tiny", "-n", "4", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    phases = payload["phases"]
+    assert set(phases) == {"interpret", "simulate", "report"}
+    assert phases["simulate"]["seconds"] == payload["profile"]["simulate"]["seconds"]
+    assert phases["interpret"]["seconds"] == payload["profile"]["trace-gen"]["seconds"]
+    assert phases["report"]["seconds"] == payload["profile"]["dependence-profile"]["seconds"]
+
+
 def test_staticdep_command_on_workload(capsys):
     assert main(["staticdep", "micro-recurrence-d1", "--scale", "tiny"]) == 0
     out = capsys.readouterr().out
