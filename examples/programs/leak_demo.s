@@ -1,0 +1,35 @@
+.name leak-demo
+.secret 0x2000 0x201c
+.word 0x2000 11 22 33 44 55 66 77 88
+.word 0x1000 1 2 3 4 5 6 7 8
+.word 0x3000 0
+.word 0x4000 0
+    li   s1, 0x2000
+    li   s2, 0x1000
+    li   s5, 0x3000
+    li   s6, 0x4000
+    li   s3, 0
+    li   s4, 24
+loop:
+    .task
+    lw   t0, 0(s1)
+    andi t1, t0, 0x1c
+    add  t2, s2, t1
+    lw   t3, 0(t2)
+    lw   t4, 0(s5)
+    add  t4, t4, t3
+    add  t4, t4, t0
+    andi t5, t4, 0x1c
+    add  t5, s2, t5
+    lw   t6, 0(t5)
+    sw   t4, 0(s5)
+    sw   t4, 0(t2)
+    lw   t7, 0(s6)
+    addi t7, t7, 1
+    sw   t7, 0(s6)
+    beq  t0, zero, skip
+    nop
+skip:
+    addi s3, s3, 1
+    blt  s3, s4, loop
+    halt

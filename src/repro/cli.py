@@ -19,17 +19,20 @@ Usage (also available as ``python -m repro``)::
     repro staticdep compress --symbolic      # MUST/MAY/NO alias verdicts
     repro lint examples/programs/histogram.s # speculation linter
     repro lint compress --symbolic           # + provable-dependence rules
+    repro leakcheck examples/programs/leak_demo.s           # spec-leak check
+    repro leakcheck histogram --secret-range 0x1000:0x103c  # ad-hoc secrets
 
 Most subcommands accept ``--json`` (machine-readable stdout); the
 simulation commands additionally accept ``--metrics FILE`` (metric
 registry dump) and ``--trace-events FILE`` (Chrome trace-event JSON,
 viewable at https://ui.perfetto.dev).
 
-The analysis commands (``staticdep``, ``lint``) share one exit-code
-contract: **0** — analysis ran and found nothing wrong; **1** — the
-analysis itself found problems (lint errors, or a soundness violation
-against the oracle); **2** — usage error (unknown workload, unreadable
-file, unparsable target).
+The analysis commands (``staticdep``, ``lint``, ``leakcheck``) share
+one exit-code contract: **0** — analysis ran and found nothing wrong;
+**1** — the analysis itself found problems (lint errors past the
+``--fail-on`` threshold, a soundness violation against the oracle, or
+leak-relevant findings); **2** — usage error (unknown workload,
+unreadable file, unparsable target or secret range).
 """
 
 from __future__ import annotations
@@ -225,7 +228,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="lint against the symbolic classifier's refined pair set and "
         "enable the must-alias-pair / dist-over-mdst rules",
     )
+    from repro.staticdep.lint import FAIL_ON_CHOICES
+
+    p_lint.add_argument(
+        "--fail-on", default="error", choices=FAIL_ON_CHOICES, dest="fail_on",
+        help="lowest severity that makes the exit code 1 (default: error; "
+        "'warn'/'note' are aliases for warning/info)",
+    )
     p_lint.add_argument("--json", action="store_true", dest="as_json")
+
+    p_leak = sub.add_parser(
+        "leakcheck",
+        help="static + dynamic speculative-leak analysis of a program",
+        description="Classify every static store->load pair as LEAK / "
+        "GATED / NO-LEAK under the taint lattice, then replay the "
+        "program through the multiscalar simulator with the dynamic "
+        "taint sanitizer and cross-check the verdicts. Exit codes: "
+        "0 clean (no leaks, no gated pairs, no contradictions), "
+        "1 leak-relevant findings, 2 usage error.",
+    )
+    p_leak.add_argument("target", help="workload name or assembly (.s) file")
+    p_leak.add_argument("--scale", default="test")
+    p_leak.add_argument(
+        "--secret-range", action="append", dest="secret_ranges",
+        metavar="LO:HI", default=None,
+        help="mark [LO, HI] (inclusive, word-aligned, 0x.. accepted) as "
+        "secret memory; repeatable; overrides .secret directives",
+    )
+    p_leak.add_argument(
+        "--policy", default="always", choices=POLICIES,
+        help="speculation policy for the dynamic replay (default: always, "
+        "i.e. blind speculation — the adversarial baseline)",
+    )
+    p_leak.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -755,7 +790,7 @@ def cmd_staticdep(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.staticdep import has_errors, lint_path, lint_program
+    from repro.staticdep import fails_threshold, lint_path, lint_program
 
     try:
         if _is_assembly_path(args.target):
@@ -785,7 +820,7 @@ def cmd_lint(args) -> int:
                 {
                     "target": name,
                     "errors": sum(d.is_error for d in diagnostics),
-                    "diagnostics": [d.to_dict() for d in diagnostics],
+                    "diagnostics": [d.to_json() for d in diagnostics],
                 },
                 indent=2,
             )
@@ -799,7 +834,78 @@ def cmd_lint(args) -> int:
             "%s: %d error(s), %d warning(s), %d finding(s) total"
             % (name, errors, warnings, len(diagnostics))
         )
-    return 1 if has_errors(diagnostics) else 0
+    return 1 if fails_threshold(diagnostics, args.fail_on) else 0
+
+
+def _parse_secret_ranges(specs):
+    """Parse repeated ``--secret-range LO:HI`` flags (base-prefixed ints)."""
+    ranges = []
+    for spec in specs:
+        lo_text, sep, hi_text = spec.partition(":")
+        if not sep:
+            raise ValueError(
+                "bad --secret-range %r: expected LO:HI (e.g. 0x2000:0x201c)"
+                % spec
+            )
+        ranges.append((int(lo_text, 0), int(hi_text, 0)))
+    return ranges
+
+
+def cmd_leakcheck(args) -> int:
+    from repro.multiscalar.sanitizer import check_program_leaks
+
+    try:
+        secret_ranges = (
+            None
+            if args.secret_ranges is None
+            else _parse_secret_ranges(args.secret_ranges)
+        )
+        program = _load_program(args.target, args.scale)
+        result = check_program_leaks(
+            program, secret_ranges=secret_ranges, policy=args.policy
+        )
+    except Exception as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    name = program.name or args.target
+    if args.as_json:
+        print(json.dumps({"target": name, **result.summary()}, indent=2))
+    else:
+        analysis, check = result.analysis, result.check
+        counts = analysis.verdict_counts()
+        print(
+            "%s: policy=%s  verdicts: %d leak, %d gated, %d no-leak"
+            % (name, result.policy, counts["leak"], counts["gated"],
+               counts["no-leak"])
+        )
+        for verdict in analysis.leaks() + analysis.gated():
+            sinks = ", ".join(
+                "%s@%d" % (t.kind, t.pc) for t in verdict.transmitters
+            ) or "none"
+            print(
+                "  %-6s store %d -> load %d  (%s; sinks: %s)"
+                % (verdict.verdict.upper(), verdict.store_pc,
+                   verdict.load_pc, verdict.reason, sinks)
+            )
+        sanitizer = result.sanitizer
+        print(
+            "dynamic: %d violation(s), %d transient secret read(s), "
+            "%d transmitted" % (sanitizer.violations, len(sanitizer.events),
+                                len(sanitizer.transmitted_pairs()))
+        )
+        for pair, count in sorted(sanitizer.pair_counts().items()):
+            print("  observed store %d -> load %d: %d event(s)" % (
+                pair[0], pair[1], count))
+        if check.contradictions:
+            for text in check.contradictions:
+                print("CONTRADICTION: %s" % text, file=sys.stderr)
+        print(
+            "cross-check: %s  precision=%s recall=%s"
+            % ("sound" if check.sound else "UNSOUND",
+               "n/a" if check.precision is None else "%.2f" % check.precision,
+               "n/a" if check.recall is None else "%.2f" % check.recall)
+        )
+    return 0 if result.clean else 1
 
 
 def main(argv=None) -> int:
@@ -814,6 +920,7 @@ def main(argv=None) -> int:
         "profile": cmd_profile,
         "staticdep": cmd_staticdep,
         "lint": cmd_lint,
+        "leakcheck": cmd_leakcheck,
     }[args.command]
     try:
         return handler(args)

@@ -7,6 +7,7 @@ from repro.experiments.figures import (
     figure7_spec95_speedups,
 )
 from repro.experiments.results import ExperimentTable
+from repro.experiments.spectaint import spectaint_leakage
 from repro.experiments.staticdep import staticdep_coverage, staticdep_symbolic
 from repro.telemetry import PROFILER
 from repro.experiments.sweeps import SweepPoint, SweepResult, sweep, sweep_cells
@@ -77,12 +78,15 @@ ALL_EXPERIMENTS = {
         "window-scaling": extension_window_scaling,
         "staticdep": staticdep_coverage,
         "staticdep-symbolic": staticdep_symbolic,
+        "spectaint": spectaint_leakage,
     }.items()
 }
 
 #: experiments that render configuration rather than simulate — they
-#: need no interpreted traces, so the executor skips pre-warming for them
-_NO_TRACE_EXPERIMENTS = frozenset({"table2"})
+#: need no interpreted traces, so the executor skips pre-warming for
+#: them (spectaint builds its own leak programs instead of using the
+#: workload suites, so it needs no pre-warmed traces either)
+_NO_TRACE_EXPERIMENTS = frozenset({"table2", "spectaint"})
 
 
 def run_all(
@@ -157,6 +161,7 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "extension_window_scaling",
+    "spectaint_leakage",
     "staticdep_coverage",
     "staticdep_symbolic",
     "sweep",

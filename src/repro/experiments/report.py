@@ -120,6 +120,19 @@ PAPER_CLAIMS = {
         "(sync_static_primed) removes cold-start squashes without ever "
         "adding any.",
     ),
+    "spectaint": (
+        "(extension — not in the paper)  The paper's squash-and-recover "
+        "model treats a mis-speculated load as a purely architectural "
+        "event; later transient-execution work showed the squashed value "
+        "is a side channel.",
+        "A taint lattice over the symbolic interpreter classifies every "
+        "static store->load pair as LEAK/GATED/NO-LEAK, and a dynamic "
+        "taint sanitizer replays each program to cross-check: the "
+        "verdicts are sound (no transient secret read ever lands on a "
+        "NO-LEAK pair), blind speculation realizes the predicted leaks, "
+        "and sync_static_primed closes every GATED pair — zero "
+        "transient secret reads where the naive policy leaks.",
+    ),
     "figure7": (
         "Appreciable gains for most SPECint95 programs (5-40%); ESYNC "
         "close to ideal for m88ksim/compress/li; swim, mgrid and turb3d "

@@ -40,6 +40,7 @@ class Assembler:
         self._pending_labels: List[str] = []
         self._pending_task_entry = False
         self._initial_memory: Dict[int, object] = {}
+        self._secret_ranges: List[tuple] = []
 
     # ------------------------------------------------------------------
     # structure
@@ -68,6 +69,18 @@ class Assembler:
         """Lay out consecutive initial memory words starting at *addr*."""
         for i, value in enumerate(values):
             self.word(addr + 4 * i, value)
+        return self
+
+    def secret(self, lo, hi):
+        """Mark the word addresses in ``[lo, hi]`` (inclusive) as secret.
+
+        The range is carried on the assembled Program for the
+        speculative-leak analysis (:mod:`repro.staticdep.spectaint`).
+        Degenerate ranges are accepted here and flagged by the linter's
+        ``secret-range-invalid`` rule rather than rejected outright, so
+        a single lint run reports every problem at once.
+        """
+        self._secret_ranges.append((int(lo), int(hi)))
         return self
 
     def here(self):
@@ -313,5 +326,6 @@ class Assembler:
             labels=self._labels,
             initial_memory=self._initial_memory,
             entry=entry,
+            secret_ranges=self._secret_ranges,
         )
         return program.validate()

@@ -39,6 +39,8 @@ class Instruction:
         task_entry: True if a new Multiscalar task begins at this
             instruction (set by the assembler's ``task_begin`` marker).
         pc: index of this instruction within its program.
+        line: 1-based source line this instruction came from, or None
+            for programs built directly through the Assembler DSL.
     """
 
     op: Opcode
@@ -50,6 +52,7 @@ class Instruction:
     label: Optional[str] = None
     task_entry: bool = False
     pc: int = field(default=-1)
+    line: Optional[int] = None
 
     @property
     def fu_class(self):

@@ -20,7 +20,12 @@ Accepts a conventional assembly syntax and produces a validated
 
 Comments run from ``#`` or ``;`` to end of line.  Memory operands use
 ``offset(base)``.  Directives: ``.name``, ``.entry``, ``.word``,
-``.task``.
+``.task``, ``.secret lo hi`` (tag an inclusive word-address range as
+secret for the speculative-leak analysis).
+
+Every parsed instruction carries its 1-based source line number
+(:attr:`~repro.isa.instructions.Instruction.line`), which the linter
+surfaces in ``--json`` diagnostics.
 """
 
 from __future__ import annotations
@@ -119,6 +124,13 @@ def parse_assembly(source, name="program") -> Program:
         if mnemonic == ".task":
             asm.task_begin()
             continue
+        if mnemonic == ".secret":
+            tokens = re.split(r"[,\s]+", rest.strip())
+            tokens = [t for t in tokens if t]
+            if len(tokens) != 2:
+                raise ParseError(lineno, ".secret needs a lo and a hi address")
+            asm.secret(_to_int(tokens[0], lineno), _to_int(tokens[1], lineno))
+            continue
         if mnemonic.startswith("."):
             raise ParseError(lineno, "unknown directive %r" % mnemonic)
 
@@ -127,6 +139,7 @@ def parse_assembly(source, name="program") -> Program:
         if method is None or method_name.startswith("_"):
             raise ParseError(lineno, "unknown mnemonic %r" % mnemonic)
 
+        emitted_from = asm.here()
         try:
             if mnemonic in _MEMORY:
                 if len(operands) != 2:
@@ -158,6 +171,8 @@ def parse_assembly(source, name="program") -> Program:
             raise
         except (KeyError, ValueError, TypeError, ProgramError) as exc:
             raise ParseError(lineno, str(exc)) from None
+        for inst in asm._instructions[emitted_from:]:
+            inst.line = lineno
 
     try:
         return asm.assemble(entry=entry)

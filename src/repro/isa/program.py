@@ -22,14 +22,28 @@ class Program:
         labels: mapping from label name to PC.
         initial_memory: mapping from byte address to initial word value.
         entry: PC of the first instruction to execute.
+        secret_ranges: inclusive ``(lo, hi)`` word-address ranges tagged
+            secret by ``.secret`` directives (consumed by the
+            speculative-leak analysis; empty for ordinary programs).
     """
 
-    def __init__(self, name, instructions, labels=None, initial_memory=None, entry=0):
+    def __init__(
+        self,
+        name,
+        instructions,
+        labels=None,
+        initial_memory=None,
+        entry=0,
+        secret_ranges=None,
+    ):
         self.name = name
         self.instructions: List[Instruction] = list(instructions)
         self.labels: Dict[str, int] = dict(labels or {})
         self.initial_memory: Dict[int, object] = dict(initial_memory or {})
         self.entry = entry
+        self.secret_ranges: List[tuple] = [
+            (int(lo), int(hi)) for lo, hi in (secret_ranges or [])
+        ]
         for pc, inst in enumerate(self.instructions):
             inst.pc = pc
 

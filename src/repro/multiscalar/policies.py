@@ -468,9 +468,17 @@ class StaticPrimedSyncPolicy(MechanismPolicy):
             return  # facade sims without a program: run unprimed
         analysis = analyze_program_symbolic(program)
         horizon = sim.config.stages
+        maximum = getattr(self.engine.mdpt.predictor, "maximum", None)
         for store_pc, load_pc, distance in analysis.primable():
             if distance < horizon:
-                self.engine.mdpt.install(store_pc, load_pc, distance)
+                entry = self.engine.mdpt.install(store_pc, load_pc, distance)
+                # A proven MUST dependence holds on *every* iteration, so
+                # start the counter saturated, not at the allocation value:
+                # the loop's first instance has no partner store in flight,
+                # and the resulting force-release would otherwise penalize
+                # a freshly primed entry straight below threshold.
+                if maximum is not None and hasattr(entry.state, "value"):
+                    entry.state.value = maximum
         self.primed_pairs = self.engine.mdpt.primed
 
     def publish_telemetry(self, telemetry):

@@ -85,6 +85,7 @@ class MultiscalarSimulator:
         policy: Optional[SpeculationPolicy] = None,
         telemetry=None,
         share_index=True,
+        sanitizer=None,
     ):
         self.trace = trace
         self.config = config or MultiscalarConfig()
@@ -102,6 +103,10 @@ class MultiscalarSimulator:
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._tel_on = self.telemetry.enabled
         self._prepare_static()
+        # optional dynamic taint sanitizer (repro.multiscalar.sanitizer):
+        # observes violations for transient secret reads; counts events
+        # unconditionally, publishes telemetry only when enabled
+        self._sanitizer = sanitizer.bind(self) if sanitizer is not None else None
 
     # ------------------------------------------------------------------
     # static preprocessing
@@ -1014,6 +1019,10 @@ class MultiscalarSimulator:
                 },
             )
         self.policy.on_violation(store_seq, load_seq, time)
+        if self._sanitizer is not None:
+            # before the squash: the issued flags still describe the
+            # speculative window the sanitizer inspects
+            self._sanitizer.on_violation(store_seq, load_seq, time)
         restart = time + self.config.squash_penalty
         self._squash_from_seq(load_seq, restart)
         # the store itself survives; let it signal for the re-execution

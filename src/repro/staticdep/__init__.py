@@ -8,8 +8,9 @@ pair set (:mod:`repro.staticdep.reaching`), a cross-checker that scores
 that set against the dynamic oracle (:mod:`repro.staticdep.checker`),
 a symbolic affine abstract interpreter that sharpens the candidate set
 into MUST / MAY / NO alias verdicts with static dependence distances
-(:mod:`repro.staticdep.symbolic`), and a diagnostics engine
-(:mod:`repro.staticdep.lint`).
+(:mod:`repro.staticdep.symbolic`), a diagnostics engine
+(:mod:`repro.staticdep.lint`), and a taint-extended speculative-leak
+classifier (:mod:`repro.staticdep.spectaint`).
 """
 
 from repro.staticdep.analysis import (
@@ -27,16 +28,21 @@ from repro.staticdep.checker import (
     cross_check_workload,
 )
 from repro.staticdep.lint import (
+    ALL_RULE_IDS,
     ERROR,
+    FAIL_ON_CHOICES,
     INFO,
+    RULE_REGISTRY,
     WARNING,
     Diagnostic,
+    fails_threshold,
     has_errors,
     lint_config,
     lint_labels,
     lint_path,
     lint_program,
     lint_source,
+    normalize_severity,
     sort_diagnostics,
 )
 from repro.staticdep.reaching import (
@@ -46,6 +52,23 @@ from repro.staticdep.reaching import (
     StoreFact,
     access_expr,
     may_alias,
+)
+from repro.staticdep.spectaint import (
+    GATED,
+    LEAK,
+    NO_LEAK,
+    PUBLIC,
+    SECRET,
+    TAINT_TOP,
+    LeakVerdict,
+    SpecTaintAnalysis,
+    TaintReplay,
+    TaintSolution,
+    Transmitter,
+    analyze_spec_leaks,
+    region_taint,
+    taint_replay,
+    valid_ranges,
 )
 from repro.staticdep.symbolic import (
     MAY,
@@ -57,7 +80,27 @@ from repro.staticdep.symbolic import (
 )
 
 __all__ = [
+    "ALL_RULE_IDS",
     "AccessExpr",
+    "FAIL_ON_CHOICES",
+    "GATED",
+    "LEAK",
+    "LeakVerdict",
+    "NO_LEAK",
+    "PUBLIC",
+    "RULE_REGISTRY",
+    "SECRET",
+    "SpecTaintAnalysis",
+    "TAINT_TOP",
+    "TaintReplay",
+    "TaintSolution",
+    "Transmitter",
+    "analyze_spec_leaks",
+    "fails_threshold",
+    "normalize_severity",
+    "region_taint",
+    "taint_replay",
+    "valid_ranges",
     "MAY",
     "MUST",
     "NO",

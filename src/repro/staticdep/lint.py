@@ -9,26 +9,38 @@ flag likely mistakes; infos are advisory.
 
 Rule catalogue (stable ids, referenced from the docs):
 
-=====================  ========  ==================================================
-rule id                severity  finding
-=====================  ========  ==================================================
-``undefined-label``    error     a control instruction targets a label no line defines
-``duplicate-label``    error     the same label is defined on two lines
-``parse-error``        error     the source does not assemble at all
-``misaligned-offset``  error     a memory offset is not word-aligned
-``negative-address``   error     a constant (zero-base) access has a negative address
-``unreachable-block``  warning   no path from the entry reaches a basic block
-``zero-reg-write``     warning   an instruction writes the hard-wired zero register
-``unwritten-reg``      warning   an instruction reads a register nothing ever writes
-``dead-store``         warning   a store provably observed by no load
-``mdpt-undersized``    warning   the MDPT cannot hold the program's static pair set
-``mdst-undersized``    warning   the MDST cannot hold the in-flight pair instances
-``must-alias-pair``    warning   a cross-task pair provably aliases; blind speculation
-                                 on it squashes every time (symbolic mode only)
-``dist-over-mdst``     warning   a proven dependence distance exceeds the MDST
-                                 capacity (symbolic mode only)
-``no-task-marker``     info      the program defines no Multiscalar tasks
-=====================  ========  ==================================================
+============================  ========  ==================================================
+rule id                       severity  finding
+============================  ========  ==================================================
+``undefined-label``           error     a control instruction targets a label no line defines
+``duplicate-label``           error     the same label is defined on two lines
+``parse-error``               error     the source does not assemble at all
+``misaligned-offset``         error     a memory offset is not word-aligned
+``negative-address``          error     a constant (zero-base) access has a negative address
+``secret-range-invalid``      error     a ``.secret`` range is negative, inverted, or
+                                        not word-aligned
+``spec-leak``                 error     a store→load pair leaks transient secrets with an
+                                        open mis-speculation window (symbolic mode only)
+``unreachable-block``         warning   no path from the entry reaches a basic block
+``zero-reg-write``            warning   an instruction writes the hard-wired zero register
+``unwritten-reg``             warning   an instruction reads a register nothing ever writes
+``dead-store``                warning   a store provably observed by no load
+``mdpt-undersized``           warning   the MDPT cannot hold the program's static pair set
+``mdst-undersized``           warning   the MDST cannot hold the in-flight pair instances
+``must-alias-pair``           warning   a cross-task pair provably aliases; blind speculation
+                                        on it squashes every time (symbolic mode only)
+``dist-over-mdst``            warning   a proven dependence distance exceeds the MDST
+                                        capacity (symbolic mode only)
+``spec-leak-gated``           warning   a transient-secret pair closed only by MDPT priming
+                                        (symbolic mode only)
+``secret-dependent-address``  warning   a memory access address is provably secret-derived
+                                        (symbolic mode only)
+``secret-dependent-branch``   warning   a branch or jump direction is provably
+                                        secret-derived (symbolic mode only)
+``no-task-marker``            info      the program defines no Multiscalar tasks
+``secret-range-untouched``    info      a valid ``.secret`` range no memory access can
+                                        reach (symbolic mode only)
+============================  ========  ==================================================
 
 Entry points: :func:`lint_program` for assembled programs,
 :func:`lint_source` for assembly text (adds the source-level label
@@ -36,14 +48,16 @@ rules that cannot survive assembly), and :func:`lint_config` for
 speculation-hardware capacity checks.  Passing ``symbolic=True`` to the
 program/source/path entry points swaps the one-bit reaching analysis
 for the symbolic affine classifier: the shared rules (notably
-``dead-store``) run on the refined pair set, and the two symbolic-only
-rules above are enabled.
+``dead-store``) run on the refined pair set, the two symbolic-only
+alias rules are enabled, and — when the program declares ``.secret``
+ranges — the speculative-leak rule pack
+(:mod:`repro.staticdep.spectaint`) runs as well.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.isa.opcodes import Opcode
@@ -62,30 +76,65 @@ INFO = "info"
 
 _SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
 
+#: ``--fail-on`` spellings accepted by the CLI.  ``note`` and ``warn``
+#: are the conventional compiler aliases for our ``info``/``warning``.
+FAIL_ON_CHOICES = ("error", "warning", "warn", "info", "note")
+
+_FAIL_ON_ALIASES = {"note": INFO, "warn": WARNING}
+
+
+def normalize_severity(name: str) -> str:
+    """Resolve a ``--fail-on`` spelling to a canonical severity."""
+    lowered = name.lower()
+    severity = _FAIL_ON_ALIASES.get(lowered, lowered)
+    if severity not in _SEVERITY_ORDER:
+        raise ValueError("unknown severity %r" % (name,))
+    return severity
+
+
+def fails_threshold(diagnostics: Sequence["Diagnostic"], fail_on: str = ERROR) -> bool:
+    """True when any finding is at or above the ``fail_on`` severity."""
+    limit = _SEVERITY_ORDER[normalize_severity(fail_on)]
+    return any(_SEVERITY_ORDER.get(d.severity, 9) <= limit for d in diagnostics)
+
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One linter finding."""
+    """One linter finding.
+
+    ``line`` is the 1-based source line of the offending instruction
+    when the program came from assembly text; diagnostics anchored to
+    the whole program (``pc=None``) carry the entry block's first
+    instruction line, and programs built through the Assembler DSL have
+    no lines at all.
+    """
 
     severity: str
     rule_id: str
     pc: Optional[int]
     message: str
+    line: Optional[int] = None
 
     @property
     def is_error(self) -> bool:
         return self.severity == ERROR
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_json(self) -> Dict[str, object]:
         return {
             "severity": self.severity,
             "rule": self.rule_id,
             "pc": self.pc,
+            "line": self.line,
             "message": self.message,
         }
 
+    # historical name; same payload
+    to_dict = to_json
+
     def __str__(self) -> str:
         where = "pc %d" % self.pc if self.pc is not None else "program"
+        if self.line is not None:
+            where += " (line %d)" % self.line
         return "%s [%s] %s: %s" % (self.severity, self.rule_id, where, self.message)
 
 
@@ -103,6 +152,25 @@ def sort_diagnostics(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
 
 def has_errors(diagnostics: Sequence[Diagnostic]) -> bool:
     return any(d.is_error for d in diagnostics)
+
+
+def _attach_lines(
+    diagnostics: List[Diagnostic], program: Program, entry_pc: Optional[int]
+) -> List[Diagnostic]:
+    """Resolve each diagnostic's source line from its anchor PC.
+
+    Program-wide findings (``pc=None``) fall back to the entry block's
+    first instruction — the closest thing a whole-program property has
+    to a source location.  Programs assembled through the DSL carry no
+    line numbers and pass through unchanged."""
+    fallback = program[entry_pc].line if entry_pc is not None else None
+    out = []
+    for diag in diagnostics:
+        line = fallback
+        if diag.pc is not None and 0 <= diag.pc < len(program):
+            line = program[diag.pc].line
+        out.append(replace(diag, line=line) if line != diag.line else diag)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -290,6 +358,163 @@ def _rule_distance_over_mdst(
     return out
 
 
+# ---------------------------------------------------------------------------
+# speculative-leak rules (symbolic mode + declared .secret ranges)
+# ---------------------------------------------------------------------------
+
+
+def _rule_secret_range_invalid(analysis: StaticDependenceAnalysis) -> List[Diagnostic]:
+    """Flag degenerate ``.secret`` declarations.  The assembler accepts
+    them so one lint run reports every problem at once; the taint
+    analysis silently drops them, which would make a typo'd range
+    *weaker* than intended — hence an error, not a warning."""
+    out = []
+    for lo, hi in analysis.program.secret_ranges:
+        problems = []
+        if lo < 0:
+            problems.append("lo is negative")
+        if hi < lo:
+            problems.append("hi is below lo")
+        if lo % 4 != 0 or hi % 4 != 0:
+            problems.append("bounds are not word-aligned")
+        if problems:
+            out.append(
+                Diagnostic(
+                    ERROR,
+                    "secret-range-invalid",
+                    None,
+                    ".secret range [0x%x, 0x%x] is ignored by the taint "
+                    "analysis: %s" % (lo, hi, "; ".join(problems)),
+                )
+            )
+    return out
+
+
+def _spec_leak_rules(
+    program: Program, symbolic: SymbolicDependenceAnalysis
+) -> List[Diagnostic]:
+    """The speculative-leak rule pack (:mod:`repro.staticdep.spectaint`).
+
+    Runs only when the program declares at least one valid secret
+    range; emits one finding per LEAK/GATED pair, per provably
+    secret-derived address or branch, and per unreachable range."""
+    from repro.isa.opcodes import is_control
+    from repro.staticdep.spectaint import (
+        GATED,
+        LEAK,
+        PUBLIC,
+        SECRET,
+        analyze_spec_leaks,
+        region_taint,
+        valid_ranges,
+    )
+
+    if not valid_ranges(program.secret_ranges):
+        return []
+    spec = analyze_spec_leaks(program, symbolic=symbolic)
+    out = []
+    for verdict in spec.verdicts:
+        if verdict.verdict == LEAK:
+            sinks = ", ".join(
+                "%s@pc %d" % (t.kind, t.pc) for t in verdict.transmitters
+            )
+            out.append(
+                Diagnostic(
+                    ERROR,
+                    "spec-leak",
+                    verdict.load_pc,
+                    "load at pc %d can observe stale secret data from the "
+                    "store at pc %d inside an open mis-speculation window "
+                    "and transmit it (%s); no synchronization closes this "
+                    "pair" % (verdict.load_pc, verdict.store_pc, sinks),
+                )
+            )
+        elif verdict.verdict == GATED:
+            out.append(
+                Diagnostic(
+                    WARNING,
+                    "spec-leak-gated",
+                    verdict.load_pc,
+                    "load at pc %d can transiently observe secret data from "
+                    "the store at pc %d; the pair is closed only when the "
+                    "MDPT is primed with its proven dependence "
+                    "(sync_static_primed)" % (verdict.load_pc, verdict.store_pc),
+                )
+            )
+    taint = spec.taint
+    for inst in program.instructions:
+        if inst.is_memory:
+            if taint.address_taint(inst.pc) == SECRET:
+                out.append(
+                    Diagnostic(
+                        WARNING,
+                        "secret-dependent-address",
+                        inst.pc,
+                        "%s at pc %d computes its address from secret data; "
+                        "the access pattern is a committed-state side "
+                        "channel even without mis-speculation"
+                        % (inst.op.value, inst.pc),
+                    )
+                )
+        elif (is_control(inst.op) and inst.rs1 is not None) or inst.op is Opcode.JR:
+            if taint.branch_taint(inst.pc) == SECRET:
+                out.append(
+                    Diagnostic(
+                        WARNING,
+                        "secret-dependent-branch",
+                        inst.pc,
+                        "%s at pc %d decides control flow from secret data"
+                        % (inst.op.value, inst.pc),
+                    )
+                )
+    memory_pcs = [inst.pc for inst in program.instructions if inst.is_memory]
+    for lo, hi in spec.secret_ranges:
+        touched = any(
+            region_taint(taint.address_values[pc], [(lo, hi)]) != PUBLIC
+            for pc in memory_pcs
+        )
+        if not touched:
+            out.append(
+                Diagnostic(
+                    INFO,
+                    "secret-range-untouched",
+                    None,
+                    ".secret range [0x%x, 0x%x] is provably untouched by "
+                    "every memory access; the declaration is dead" % (lo, hi),
+                )
+            )
+    return out
+
+
+#: Every rule the linter can emit: (rule id, severity, one-line finding).
+#: The docs table and the CI completeness check are generated from /
+#: validated against this registry — new rules must be added here.
+RULE_REGISTRY = (
+    ("undefined-label", ERROR, "a control instruction targets an undefined label"),
+    ("duplicate-label", ERROR, "the same label is defined twice"),
+    ("parse-error", ERROR, "the source does not assemble"),
+    ("misaligned-offset", ERROR, "a memory offset is not word-aligned"),
+    ("negative-address", ERROR, "a constant access has a negative address"),
+    ("secret-range-invalid", ERROR, "a .secret range is degenerate"),
+    ("spec-leak", ERROR, "a pair leaks transient secrets with an open window"),
+    ("unreachable-block", WARNING, "a basic block is unreachable"),
+    ("zero-reg-write", WARNING, "an instruction writes the zero register"),
+    ("unwritten-reg", WARNING, "an instruction reads a never-written register"),
+    ("dead-store", WARNING, "a store is observed by no load"),
+    ("mdpt-undersized", WARNING, "the MDPT cannot hold the static pair set"),
+    ("mdst-undersized", WARNING, "the MDST cannot hold in-flight instances"),
+    ("must-alias-pair", WARNING, "a cross-task pair provably aliases"),
+    ("dist-over-mdst", WARNING, "a proven distance exceeds the MDST capacity"),
+    ("spec-leak-gated", WARNING, "a transient-secret pair closed only by priming"),
+    ("secret-dependent-address", WARNING, "an address is provably secret-derived"),
+    ("secret-dependent-branch", WARNING, "a branch is provably secret-derived"),
+    ("no-task-marker", INFO, "the program defines no tasks"),
+    ("secret-range-untouched", INFO, "a .secret range no access can reach"),
+)
+
+ALL_RULE_IDS = frozenset(rule_id for rule_id, _, _ in RULE_REGISTRY)
+
+
 def lint_program(
     program: Program,
     analysis: Optional[StaticDependenceAnalysis] = None,
@@ -300,8 +525,9 @@ def lint_program(
     """Run every program-level rule; optionally the capacity rules too.
 
     With ``symbolic=True`` the shared rules consume the symbolic
-    classifier's refined pair set and the symbolic-only rules
-    (``must-alias-pair``, ``dist-over-mdst``) are enabled.
+    classifier's refined pair set, the symbolic-only alias rules
+    (``must-alias-pair``, ``dist-over-mdst``) are enabled, and programs
+    declaring ``.secret`` ranges get the speculative-leak rule pack.
     """
     if analysis is None:
         analysis = (
@@ -310,16 +536,20 @@ def lint_program(
     diagnostics: List[Diagnostic] = []
     for rule in _PROGRAM_RULES:
         diagnostics.extend(rule(analysis))
+    diagnostics.extend(_rule_secret_range_invalid(analysis))
     if isinstance(analysis, SymbolicDependenceAnalysis):
         diagnostics.extend(_rule_must_alias_pairs(analysis))
         if mdst_capacity is not None:
             diagnostics.extend(_rule_distance_over_mdst(analysis, mdst_capacity))
+        diagnostics.extend(_spec_leak_rules(program, analysis))
     if mdpt_capacity is not None or mdst_capacity is not None:
         diagnostics.extend(
             lint_config(
                 analysis, mdpt_capacity=mdpt_capacity, mdst_capacity=mdst_capacity
             )
         )
+    entry_pc = analysis.cfg.entry_block.start if len(program) else None
+    diagnostics = _attach_lines(diagnostics, program, entry_pc)
     return sort_diagnostics(diagnostics)
 
 

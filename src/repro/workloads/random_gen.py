@@ -29,6 +29,10 @@ class RandomProgramConfig:
             denser cross-task dependences.
         private_words: size of each task's private scratch area.
         branch_probability: chance of an intra-body forward branch.
+        secret_words: how many leading shared words to declare secret
+            (clamped to ``shared_words``; 0 = no secret region), feeding
+            the speculative-leak analysis and the dynamic taint
+            sanitizer.
         seed: RNG seed (every program is a pure function of the config).
     """
 
@@ -39,6 +43,7 @@ class RandomProgramConfig:
     shared_words: int = 8
     private_words: int = 64
     branch_probability: float = 0.3
+    secret_words: int = 0
     seed: int = 0
 
     def __post_init__(self):
@@ -64,6 +69,9 @@ def generate_program(config: RandomProgramConfig) -> Program:
 
     for i in range(config.shared_words):
         a.word(shared_base + 4 * i, rng.randint(0, 255))
+    secret_words = min(config.secret_words, config.shared_words)
+    if secret_words > 0:
+        a.secret(shared_base, shared_base + 4 * secret_words - 4)
 
     a.li("s1", shared_base)
     a.li("s2", private_base)

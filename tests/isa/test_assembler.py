@@ -220,3 +220,16 @@ def test_str_rendering_smoke():
     assert "addi" in rendered[0]
     assert "4(a0)" in rendered[1]
     assert "8(a0)" in rendered[2]
+
+
+def test_assembler_secret_ranges_on_program():
+    a = Assembler("s")
+    a.secret(0x2000, 0x201C)
+    a.li("s1", 0x2000)
+    a.halt()
+    program = a.assemble()
+    assert program.secret_ranges == [(0x2000, 0x201C)]
+    # programs without the directive default to no secret memory
+    b = Assembler("p")
+    b.halt()
+    assert b.assemble().secret_ranges == []

@@ -144,3 +144,30 @@ def test_parse_file(tmp_path):
     path.write_text(COUNTER)
     program = parse_file(path)
     assert program.name == "counter"
+
+
+def test_secret_directive_carried_on_program():
+    program = parse_assembly("""
+    .secret 0x2000 0x201c
+    .secret 0x3000 0x3000
+    li s1, 0x2000
+    halt
+    """)
+    assert program.secret_ranges == [(0x2000, 0x201C), (0x3000, 0x3000)]
+
+
+def test_secret_directive_needs_two_addresses():
+    with pytest.raises(ParseError):
+        parse_assembly(".secret 0x2000\nhalt")
+
+
+def test_instructions_carry_source_lines():
+    program = parse_assembly(COUNTER)
+    # every parsed instruction knows the 1-based source line it came from
+    assert all(inst.line is not None for inst in program.instructions)
+    lines = [inst.line for inst in program.instructions]
+    assert lines == sorted(lines)
+    # the first li sits on the line after .name/.word/comment preamble
+    source_lines = COUNTER.splitlines()
+    first = program.instructions[0]
+    assert "li   s1" in source_lines[first.line - 1]

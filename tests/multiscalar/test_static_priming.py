@@ -68,6 +68,20 @@ def test_beyond_window_distances_are_not_primed():
     assert policy.primed_pairs == 0
 
 
+def test_primed_counters_start_saturated():
+    # A primed entry encodes a statically *proven* MUST dependence, so
+    # its counter starts at the predictor maximum, not the allocation
+    # threshold: the loop's first instance has no partner store in
+    # flight, and the resulting force-release penalty must not drop a
+    # freshly primed pair below the prediction threshold (which would
+    # reopen the mis-speculation window the proof closed).
+    _, policy = _run("micro-recurrence-d1", "sync_static_primed")
+    predictor = policy.engine.mdpt.predictor
+    entry = policy.engine.mdpt.get(11, 8)
+    assert entry.state.value >= predictor.maximum - 1  # one benign decay allowed
+    assert predictor.predict(entry.state)
+
+
 def test_primed_gauge_in_telemetry():
     from repro.multiscalar import MultiscalarSimulator
     from repro.telemetry import make_telemetry

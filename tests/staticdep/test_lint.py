@@ -1,15 +1,19 @@
 """One test per lint rule, plus clean-program and config checks."""
 
+import pytest
+
 from repro.isa.assembler import Assembler
 from repro.isa.parser import parse_file
 from repro.staticdep import (
     analyze_program,
+    fails_threshold,
     has_errors,
     lint_config,
     lint_labels,
     lint_path,
     lint_program,
     lint_source,
+    normalize_severity,
 )
 
 HISTOGRAM = "examples/programs/histogram.s"
@@ -237,3 +241,114 @@ def test_diagnostic_str_and_dict():
     payload = d.to_dict()
     assert payload["rule"] == d.rule_id
     assert payload["severity"] == d.severity
+
+
+# -- source lines in diagnostics --------------------------------------------
+
+
+def test_diagnostics_carry_source_lines():
+    diags = lint_path(LINT_DEMO)
+    located = [d for d in diags if d.pc is not None]
+    assert located
+    for d in located:
+        assert d.line is not None and d.line >= 1
+        assert "line %d" % d.line in str(d)
+        assert d.to_json()["line"] == d.line
+
+
+def test_pc_less_diagnostic_falls_back_to_entry_line():
+    # no-task-marker has no pc; its line is the entry block's first
+    # instruction line so editors still have a jump target
+    program = parse_file("examples/programs/histogram.s")
+    diags = lint_program(program, mdpt_capacity=0)
+    pcless = [d for d in diags if d.pc is None]
+    assert pcless
+    first_line = program.instructions[0].line
+    assert all(d.line == first_line for d in pcless)
+
+
+# -- severity thresholds (--fail-on) ----------------------------------------
+
+
+def test_normalize_severity_aliases():
+    assert normalize_severity("warn") == "warning"
+    assert normalize_severity("note") == "info"
+    assert normalize_severity("ERROR") == "error"
+    with pytest.raises(ValueError):
+        normalize_severity("fatal")
+
+
+def test_fails_threshold_ladder():
+    warn_only = lint_program(_recurrence_program(), symbolic=True)
+    assert not has_errors(warn_only)
+    assert not fails_threshold(warn_only)  # default: error
+    assert fails_threshold(warn_only, "warning")
+    assert fails_threshold(warn_only, "warn")
+    assert fails_threshold(warn_only, "info")
+    info_only = lint_program(minimal(lambda a: a.nop()))
+    assert not fails_threshold(info_only, "warning")
+    assert fails_threshold(info_only, "note")
+    errors = lint_source("  frobnicate t0\n")
+    assert fails_threshold(errors, "error")
+
+
+# -- the spec-leak rule pack ------------------------------------------------
+
+
+def _secret_program(body, ranges=((0x2000, 0x2000),)):
+    a = Assembler("s")
+    for lo, hi in ranges:
+        a.secret(lo, hi)
+    a.task_begin()
+    a.li("s1", 0x2000)
+    a.li("s2", 0x4000)
+    body(a)
+    a.halt()
+    return a.assemble()
+
+
+def test_secret_range_invalid_rule():
+    program = _secret_program(
+        lambda a: a.lw("t0", "s1", 0), ranges=[(8, 4), (-4, 0), (1, 9)]
+    )
+    diags = [d for d in lint_program(program) if d.rule_id == "secret-range-invalid"]
+    assert len(diags) == 3
+    assert all(d.is_error for d in diags)
+    # the rule needs no symbolic mode: a bad directive is a parse-level bug
+    assert "secret-range-invalid" in rules_of(lint_program(program))
+
+
+def test_secret_range_untouched_rule():
+    program = _secret_program(
+        lambda a: a.lw("t0", "s2", 0), ranges=[(0x2000, 0x2000)]
+    )
+    diags = [
+        d
+        for d in lint_program(program, symbolic=True)
+        if d.rule_id == "secret-range-untouched"
+    ]
+    assert len(diags) == 1 and diags[0].severity == "info"
+    # an access into the range silences it
+    touched = _secret_program(lambda a: a.lw("t0", "s1", 0))
+    assert "secret-range-untouched" not in rules_of(
+        lint_program(touched, symbolic=True)
+    )
+
+
+def test_spec_leak_rules_on_demo_file():
+    diags = lint_path("examples/programs/leak_demo.s", symbolic=True)
+    assert {
+        "spec-leak",
+        "spec-leak-gated",
+        "secret-dependent-address",
+        "secret-dependent-branch",
+    } <= rules_of(diags)
+    leak = [d for d in diags if d.rule_id == "spec-leak"]
+    assert len(leak) == 1 and leak[0].is_error
+    # the rule pack is symbolic-mode only
+    assert not rules_of(lint_path("examples/programs/leak_demo.s")) & {
+        "spec-leak",
+        "spec-leak-gated",
+        "secret-dependent-address",
+        "secret-dependent-branch",
+    }

@@ -1,0 +1,53 @@
+"""Golden-diagnostic regression tests for the linter.
+
+Every example program's full symbolic-mode diagnostic list (rule ids,
+severities, PCs, source lines, messages) is pinned as a checked-in JSON
+fixture, so any analysis change that shifts a finding shows up as a
+readable diff.  Intentional rebaselines: run
+
+    PYTHONPATH=src python -m pytest tests/staticdep/test_lint_golden.py --update-golden
+
+review the diff under ``tests/staticdep/golden/``, and commit it.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.staticdep import lint_path
+
+EXAMPLES = sorted(Path("examples/programs").glob("*.s"))
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def rendered(program_path) -> str:
+    diagnostics = lint_path(str(program_path), symbolic=True)
+    payload = {
+        "program": program_path.name,
+        "diagnostics": [d.to_json() for d in diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def test_example_set_is_nonempty():
+    assert EXAMPLES, "examples/programs/*.s disappeared"
+
+
+@pytest.mark.parametrize("program_path", EXAMPLES, ids=lambda p: p.stem)
+def test_lint_golden(program_path, request):
+    path = GOLDEN_DIR / (program_path.stem + ".json")
+    text = rendered(program_path)
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        pytest.skip("rebaselined %s" % path.name)
+    assert path.exists(), (
+        "missing golden fixture %s — generate it with "
+        "`pytest tests/staticdep/test_lint_golden.py --update-golden`" % path
+    )
+    assert text == path.read_text(), (
+        "%s lint diagnostics drifted from the golden fixture; if the "
+        "change is intentional, rerun with --update-golden and commit "
+        "the diff" % program_path.name
+    )

@@ -1,0 +1,63 @@
+"""Registry-completeness contract for the linter rule pack.
+
+Every rule id in :data:`repro.staticdep.lint.RULE_REGISTRY` must be
+(a) implemented — referenced by the lint module itself, (b) documented
+in the ``docs/static-analysis.md`` catalogue table, and (c) exercised
+by at least one test.  CI runs this module as its own step so a rule
+added without docs or tests fails loudly.
+"""
+
+import inspect
+from pathlib import Path
+
+from repro.staticdep import lint as lint_module
+from repro.staticdep.lint import ALL_RULE_IDS, ERROR, INFO, RULE_REGISTRY, WARNING
+
+REPO = Path(__file__).resolve().parents[2]
+DOCS = REPO / "docs" / "static-analysis.md"
+TEST_DIRS = (REPO / "tests",)
+
+
+def test_registry_shape():
+    assert len(RULE_REGISTRY) == 20
+    ids = [rule_id for rule_id, _, _ in RULE_REGISTRY]
+    assert len(set(ids)) == len(ids), "duplicate rule ids"
+    assert ALL_RULE_IDS == frozenset(ids)
+    for rule_id, severity, summary in RULE_REGISTRY:
+        assert severity in (ERROR, WARNING, INFO), rule_id
+        assert summary, rule_id
+
+
+def test_every_rule_is_emitted_by_the_lint_module():
+    source = inspect.getsource(lint_module)
+    for rule_id in ALL_RULE_IDS:
+        assert '"%s"' % rule_id in source, (
+            "rule %r is registered but never emitted by lint.py" % rule_id
+        )
+
+
+def test_every_rule_is_documented():
+    table = DOCS.read_text()
+    for rule_id in ALL_RULE_IDS:
+        assert "`%s`" % rule_id in table, (
+            "rule %r missing from the docs/static-analysis.md catalogue"
+            % rule_id
+        )
+
+
+def test_every_rule_is_tested():
+    corpus = ""
+    for test_dir in TEST_DIRS:
+        for path in test_dir.rglob("test_*.py"):
+            if path.name == Path(__file__).name:
+                continue
+            corpus += path.read_text()
+    # golden fixtures count: they pin the exact diagnostics the examples
+    # produce, which is the strongest per-rule regression signal we have
+    for path in (REPO / "tests" / "staticdep" / "golden").glob("*.json"):
+        corpus += path.read_text()
+    missing = [rule_id for rule_id in sorted(ALL_RULE_IDS) if rule_id not in corpus]
+    assert not missing, (
+        "registered rules never exercised by any test or golden "
+        "fixture: %s" % missing
+    )

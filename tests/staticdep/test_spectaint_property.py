@@ -1,0 +1,73 @@
+"""Property tests: the leak verdicts vs the dynamic sanitizer on random
+programs with random secret regions.
+
+The load-bearing invariant is soundness: replaying any generated
+program through the simulator under blind speculation (the most
+adversarial policy in the repertoire) never produces a transient
+secret observation that contradicts a static ``NO-LEAK`` verdict.  A
+second property pins the LEAK recall the contract promises: every
+*transmitted* observation lands on a statically flagged pair
+(un-transmitted stale-secret reads are permitted on ``no-transmitter``
+pairs — the claim there is only that the value cannot escape).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multiscalar.sanitizer import check_program_leaks
+from repro.staticdep.spectaint import analyze_spec_leaks
+from repro.workloads.random_gen import RandomProgramConfig, generate_program
+
+# denser shared regions than the alias-property suite: violations (and
+# with them sanitizer events) need cross-task store->load collisions
+configs = st.builds(
+    RandomProgramConfig,
+    tasks=st.integers(min_value=2, max_value=14),
+    body_ops=st.integers(min_value=0, max_value=6),
+    loads_per_task=st.integers(min_value=1, max_value=3),
+    stores_per_task=st.integers(min_value=1, max_value=3),
+    shared_words=st.integers(min_value=1, max_value=6),
+    branch_probability=st.floats(min_value=0.0, max_value=0.8),
+    secret_words=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=configs)
+def test_sanitizer_never_contradicts_static_verdicts(config):
+    program = generate_program(config)
+    result = check_program_leaks(program, policy="always")
+    assert result.check.sound, result.check.contradictions
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=configs)
+def test_every_transmitted_leak_was_statically_flagged(config):
+    program = generate_program(config)
+    result = check_program_leaks(program, policy="always")
+    transmitted = set(result.sanitizer.transmitted_pairs())
+    flagged = set(result.check.flagged_pairs)
+    assert transmitted <= flagged, (
+        "transmitted transient secrets on statically unflagged pairs: %s"
+        % sorted(transmitted - flagged)
+    )
+    # non-transmitted observations may land on no-transmitter pairs, so
+    # full recall is only promised when every observation transmitted
+    if transmitted == set(result.sanitizer.pair_counts()):
+        assert result.check.recall == 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(config=configs)
+def test_no_secrets_means_no_events_and_no_flags(config):
+    # with the secret region overridden away, the analysis degenerates:
+    # every pair is NO-LEAK and the sanitizer can never fire
+    program = generate_program(config)
+    analysis = analyze_spec_leaks(program, secret_ranges=[])
+    assert analysis.verdict_counts()["no-leak"] == len(analysis.verdicts)
+    result = check_program_leaks(
+        program, secret_ranges=[], policy="always", analysis=analysis
+    )
+    assert result.sanitizer.events == []
+    assert result.check.sound and result.clean

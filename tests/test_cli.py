@@ -342,6 +342,94 @@ def test_exit_code_two_on_usage_errors(capsys):
     assert err.count("error:") == 5
 
 
+# --- lint --fail-on: the severity threshold for exit code 1 ---
+
+
+def test_lint_fail_on_warning(capsys):
+    # micro-recurrence-d1 --symbolic produces warnings but no errors
+    assert main(["lint", "micro-recurrence-d1", "--symbolic"]) == 0
+    assert main(["lint", "micro-recurrence-d1", "--symbolic",
+                 "--fail-on", "warning"]) == 1
+    assert main(["lint", "micro-recurrence-d1", "--symbolic",
+                 "--fail-on", "warn"]) == 1
+    capsys.readouterr()
+
+
+def test_lint_fail_on_info(capsys):
+    # histogram lints perfectly clean: even the info threshold passes
+    assert main(["lint", HISTOGRAM, "--fail-on", "note"]) == 0
+    capsys.readouterr()
+
+
+def test_lint_fail_on_rejects_unknown_level():
+    with pytest.raises(SystemExit):
+        main(["lint", HISTOGRAM, "--fail-on", "fatal"])
+
+
+def test_lint_json_carries_source_lines(capsys):
+    assert main(["lint", LINT_DEMO, "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert all("line" in d for d in payload["diagnostics"])
+    assert any(d["line"] is not None for d in payload["diagnostics"])
+
+
+# --- leakcheck: static verdicts + dynamic sanitizer, exit 0/1/2 ---
+
+LEAK_DEMO = "examples/programs/leak_demo.s"
+
+
+def test_leakcheck_flags_demo(capsys):
+    assert main(["leakcheck", LEAK_DEMO]) == 1
+    out = capsys.readouterr().out
+    assert "1 leak, 1 gated" in out
+    assert "cross-check: sound" in out
+    assert "transient secret read(s)" in out
+
+
+def test_leakcheck_primed_policy_still_flags_but_observes_nothing(capsys):
+    assert main(["leakcheck", LEAK_DEMO, "--policy", "sync_static_primed"]) == 1
+    out = capsys.readouterr().out
+    assert "0 transient secret read(s)" in out
+    assert "cross-check: sound" in out
+
+
+def test_leakcheck_clean_program_exits_zero(capsys):
+    assert main(["leakcheck", HISTOGRAM]) == 0
+    assert "0 leak, 0 gated" in capsys.readouterr().out
+
+
+def test_leakcheck_secret_range_override(capsys):
+    # pointing the override at untouched memory clears every verdict
+    assert main(["leakcheck", LEAK_DEMO, "--secret-range", "0x9000:0x9000"]) == 0
+    capsys.readouterr()
+
+
+def test_leakcheck_json_output(capsys):
+    assert main(["leakcheck", LEAK_DEMO, "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["leak"] == 1 and payload["gated"] == 1
+    assert payload["policy"] == "always"
+    assert payload["cross_check"]["sound"] is True
+    assert payload["dynamic"]["transient_secret_reads"] > 0
+    assert payload["cross_check"]["precision"] == 1.0
+    assert payload["cross_check"]["recall"] == 1.0
+
+
+def test_leakcheck_workload_target(capsys):
+    # workloads declare no secrets: trivially clean
+    assert main(["leakcheck", "micro-recurrence-d1", "--scale", "tiny"]) == 0
+    capsys.readouterr()
+
+
+def test_leakcheck_usage_errors(capsys):
+    assert main(["leakcheck", "examples/programs/nope.s"]) == 2
+    assert main(["leakcheck", "no-such-workload"]) == 2
+    assert main(["leakcheck", HISTOGRAM, "--secret-range", "bogus"]) == 2
+    assert main(["leakcheck", HISTOGRAM, "--secret-range", "0x10"]) == 2
+    err = capsys.readouterr().err
+    assert err.count("error:") == 4
+
+
 # --- the parallel executor through `repro experiment` / `repro sweep` ---
 
 
