@@ -135,13 +135,45 @@ def bench_record():
     return record
 
 
+def _git_sha():
+    """Short HEAD sha for history records; None outside a checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Persist the session's benchmark records as BENCH_results.json."""
+    """Persist the session's benchmark records.
+
+    ``BENCH_results.json`` holds the latest session (overwritten each
+    run, uploaded by CI); ``BENCH_history.jsonl`` accumulates one line
+    per session keyed by git sha and timestamp, so ``repro
+    bench-report`` can plot the performance trajectory across commits.
+    """
     if not _RESULTS:
         return
-    path = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+    root = Path(__file__).resolve().parent.parent
     payload = {"scale": BENCH_SCALE, "results": _RESULTS}
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    (root / "BENCH_results.json").write_text(json.dumps(payload, indent=2) + "\n")
+    entry = {
+        "git_sha": _git_sha(),
+        "time": round(time.time(), 3),
+        "scale": BENCH_SCALE,
+        "results": _RESULTS,
+    }
+    with open(root / "BENCH_history.jsonl", "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -21,18 +21,29 @@ Usage (also available as ``python -m repro``)::
     repro lint compress --symbolic           # + provable-dependence rules
     repro leakcheck examples/programs/leak_demo.s           # spec-leak check
     repro leakcheck histogram --secret-range 0x1000:0x103c  # ad-hoc secrets
+    repro sweep sc --jobs 4 --watch          # live cells-done/ETA view
+    repro simulate sc --ledger runs.jsonl    # record the run durably
+    repro runs                               # list recorded runs
+    repro runs diff a1b2c3 d4e5f6            # what changed between two?
+    repro explain compress                   # why did we squash?
+    repro metrics-serve m.json --port 9464   # Prometheus /metrics
+    repro bench-report                       # bench trajectory + regressions
 
 Most subcommands accept ``--json`` (machine-readable stdout); the
 simulation commands additionally accept ``--metrics FILE`` (metric
-registry dump) and ``--trace-events FILE`` (Chrome trace-event JSON,
-viewable at https://ui.perfetto.dev).
+registry dump), ``--trace-events FILE`` (Chrome trace-event JSON,
+viewable at https://ui.perfetto.dev), and ``--ledger FILE`` (append one
+run-ledger record, also enabled by ``$REPRO_LEDGER``).
 
-The analysis commands (``staticdep``, ``lint``, ``leakcheck``) share
-one exit-code contract: **0** — analysis ran and found nothing wrong;
-**1** — the analysis itself found problems (lint errors past the
-``--fail-on`` threshold, a soundness violation against the oracle, or
-leak-relevant findings); **2** — usage error (unknown workload,
-unreadable file, unparsable target or secret range).
+The analysis commands (``staticdep``, ``lint``, ``leakcheck``,
+``explain``, ``runs diff``, ``bench-report``) share one exit-code
+contract: **0** — the command ran and found nothing wrong; **1** — it
+found problems (lint errors past the ``--fail-on`` threshold, a
+soundness violation against the oracle, leak-relevant findings, a
+squash on a statically-proven non-aliasing pair, two runs that differ,
+a benchmark regression past the baseline tolerance); **2** — usage
+error (unknown workload, unreadable file, unparsable target, unknown
+run id, missing snapshot).
 """
 
 from __future__ import annotations
@@ -41,6 +52,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Optional
 
 from repro.core.stats import speedup
@@ -89,12 +101,21 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--json", action="store_true", dest="as_json")
 
+    def add_ledger_flag(p):
+        p.add_argument(
+            "--ledger", metavar="FILE",
+            help="append one run-ledger record (config + fingerprints + "
+            "phases + stats) to FILE as JSONL; default: $REPRO_LEDGER, "
+            "else no recording",
+        )
+
     p_sim = sub.add_parser("simulate", help="run one timing simulation")
     p_sim.add_argument("workload")
     p_sim.add_argument("--policy", default="esync", choices=POLICIES)
     p_sim.add_argument("-n", "--stages", type=int, default=8)
     p_sim.add_argument("--scale", default="test")
     add_telemetry_flags(p_sim)
+    add_ledger_flag(p_sim)
 
     p_cmp = sub.add_parser("compare", help="compare all policies on a workload")
     p_cmp.add_argument("workload")
@@ -130,6 +151,17 @@ def _build_parser() -> argparse.ArgumentParser:
             help="per-cell wall-clock budget; a cell over budget fails "
             "(and is retried) instead of hanging the run",
         )
+        p.add_argument(
+            "--watch", action="store_true",
+            help="render live progress (cells done/failed/cached, EWMA "
+            "ETA) to stderr while the grid runs; ANSI in-place on a "
+            "TTY, one line per cell otherwise",
+        )
+        p.add_argument(
+            "--progress-json", metavar="FILE", dest="progress_json",
+            help="append every progress event as one JSON line to FILE "
+            "(the machine-readable sibling of --watch)",
+        )
 
     p_exp = sub.add_parser(
         "experiment", help="regenerate a paper table/figure",
@@ -146,6 +178,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_executor_flags(p_exp)
     add_telemetry_flags(p_exp)
+    add_ledger_flag(p_exp)
 
     p_sweep = sub.add_parser(
         "sweep", help="run a (workload x config x policy) parameter sweep",
@@ -167,6 +200,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--scale", default="tiny")
     add_executor_flags(p_sweep)
     add_telemetry_flags(p_sweep)
+    add_ledger_flag(p_sweep)
 
     p_prof = sub.add_parser(
         "profile", help="profile one workload end to end (wall clock)"
@@ -261,6 +295,92 @@ def _build_parser() -> argparse.ArgumentParser:
         "i.e. blind speculation — the adversarial baseline)",
     )
     p_leak.add_argument("--json", action="store_true", dest="as_json")
+
+    p_runs = sub.add_parser(
+        "runs", help="inspect the run ledger (list / show / diff)",
+        description="Inspect the append-only run ledger. 'runs' lists "
+        "recorded runs, 'runs show ID' dumps one record, 'runs diff A B' "
+        "compares two. Exit codes: 0 OK (diff: identical), 1 the two "
+        "runs differ, 2 usage error (no ledger, unknown id).",
+    )
+    p_runs.add_argument(
+        "action", nargs="?", default="list", choices=["list", "show", "diff"],
+        help="list recorded runs (default), show one record, or diff two",
+    )
+    p_runs.add_argument(
+        "ids", nargs="*", metavar="ID",
+        help="run id(s) — full or unique prefix (show: 1, diff: 2)",
+    )
+    p_runs.add_argument(
+        "--last", type=int, default=20, metavar="N",
+        help="list only the N most recent runs (default 20, 0 = all)",
+    )
+    add_ledger_flag(p_runs)
+    p_runs.add_argument("--json", action="store_true", dest="as_json")
+
+    p_explain = sub.add_parser(
+        "explain", help="why did we squash? per-pair causes vs verdicts",
+        description="Run a program with the squash ledger attached and "
+        "explain every surviving squash: static pair, dependence "
+        "distance, policy decision and MDPT/MDST state at squash time, "
+        "cross-referenced against the symbolic MUST/MAY/NO verdicts. "
+        "Exit codes: 0 no contradictions, 1 a squash happened on a "
+        "pair the symbolic analysis proved non-aliasing, 2 usage error.",
+    )
+    p_explain.add_argument("target", help="workload name or assembly (.s) file")
+    p_explain.add_argument("--scale", default="test")
+    p_explain.add_argument("--policy", default="esync", choices=POLICIES)
+    p_explain.add_argument("-n", "--stages", type=int, default=8)
+    p_explain.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="show only the K hottest squashing pairs (default 10)",
+    )
+    p_explain.add_argument("--json", action="store_true", dest="as_json")
+
+    p_serve = sub.add_parser(
+        "metrics-serve",
+        help="serve a metrics snapshot in Prometheus text format",
+        description="Expose a --metrics JSON snapshot on a Prometheus "
+        "text-format endpoint (stdlib HTTP server; the snapshot file is "
+        "re-read on every request, so a running simulation can refresh "
+        "it in place). Exit codes: 0 served/printed, 2 usage error "
+        "(missing or invalid snapshot).",
+    )
+    p_serve.add_argument("snapshot", help="metrics JSON written by --metrics")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=9464)
+    p_serve.add_argument(
+        "--once", action="store_true",
+        help="print the Prometheus text to stdout and exit (no server)",
+    )
+    p_serve.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        dest="max_requests",
+        help="serve N requests then exit (default: serve forever)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench-report",
+        help="benchmark trajectory and regression check",
+        description="Summarise BENCH_history.jsonl (one line per "
+        "benchmark session, keyed by git SHA) and flag hot-path "
+        "regressions of more than 25%% against "
+        "benchmarks/hotpath_baseline.json. Exit codes: 0 no "
+        "regression, 1 regression flagged, 2 no benchmark data.",
+    )
+    p_bench.add_argument(
+        "--history", default="BENCH_history.jsonl", metavar="FILE",
+        help="benchmark history JSONL (default: BENCH_history.jsonl)",
+    )
+    p_bench.add_argument(
+        "--results", default="BENCH_results.json", metavar="FILE",
+        help="latest benchmark results JSON (default: BENCH_results.json)",
+    )
+    p_bench.add_argument(
+        "--baseline", default=os.path.join("benchmarks", "hotpath_baseline.json"),
+        metavar="FILE", help="pinned hot-path baseline to compare against",
+    )
+    p_bench.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -332,18 +452,49 @@ def _run_telemetry(args, pid=0):
 
 
 def cmd_simulate(args) -> int:
-    trace = get_workload(args.workload).trace(args.scale)
+    from repro.telemetry import PROFILER
+
+    start = time.time()
+    mark = PROFILER.mark()
+    with PROFILER.scope("trace-gen"):
+        trace = get_workload(args.workload).trace(args.scale)
     policy = make_policy(args.policy)
     telemetry = _run_telemetry(args)
     sim = MultiscalarSimulator(
         trace, MultiscalarConfig(stages=args.stages), policy, telemetry=telemetry
     )
-    stats = sim.run()
+    with PROFILER.scope("simulate"):
+        stats = sim.run()
     if args.metrics:
         _write_json(args.metrics, telemetry.metrics.to_dict())
     if args.trace_events:
         _write_json(args.trace_events, telemetry.trace.to_dict())
     summary = stats.summary()
+    if _ledger_enabled(args):
+        fingerprints = {}
+        try:
+            from repro.frontend.trace_cache import program_fingerprint
+
+            fingerprints["trace"] = program_fingerprint(
+                get_workload(args.workload).program(args.scale)
+            )
+        except Exception:  # fingerprinting must never fail a run
+            pass
+        _record_run(
+            args,
+            "simulate",
+            config={
+                "workload": args.workload,
+                "policy": args.policy,
+                "stages": args.stages,
+                "scale": args.scale,
+            },
+            fingerprints=fingerprints,
+            phases=PROFILER.summary(since=mark),
+            stats=summary,
+            metrics=telemetry.metrics.to_dict() if telemetry else None,
+            wall_seconds=round(time.time() - start, 6),
+        )
     if args.as_json:
         print(
             json.dumps(
@@ -479,6 +630,77 @@ def _print_failed_cells(report) -> None:
         )
 
 
+# -- observability plumbing: live progress + run ledger -------------------
+
+
+def _progress_sinks(args):
+    """(progress callback or None, JsonlWriter to close or None).
+
+    ``--watch`` renders to stderr (ANSI on a TTY, one line per event
+    otherwise) so the stdout table stays byte-identical to a non-watch
+    run; ``--progress-json`` appends every event to a JSONL file.
+    """
+    from repro.experiments.progress import JsonlWriter, fanout, make_renderer
+
+    renderer = make_renderer(sys.stderr) if getattr(args, "watch", False) else None
+    writer = (
+        JsonlWriter(args.progress_json)
+        if getattr(args, "progress_json", None)
+        else None
+    )
+    return fanout(renderer, writer), writer
+
+
+def _ledger_enabled(args) -> bool:
+    from repro.telemetry import resolve_ledger_path
+
+    return resolve_ledger_path(getattr(args, "ledger", None)) is not None
+
+
+def _record_run(args, kind, config, fingerprints=None, phases=None,
+                stats=None, executor=None, metrics=None, wall_seconds=None):
+    """Append one record to the run ledger when one is configured
+    (``--ledger`` or ``$REPRO_LEDGER``); no-op otherwise."""
+    from repro.telemetry import RunLedger, make_record, resolve_ledger_path
+
+    path = resolve_ledger_path(getattr(args, "ledger", None))
+    if not path:
+        return None
+    prints = dict(fingerprints or {})
+    if "source" not in prints:
+        try:
+            from repro.experiments.executor import source_fingerprint
+
+            prints["source"] = source_fingerprint()
+        except Exception:  # fingerprinting must never fail a run
+            pass
+    record = make_record(
+        kind=kind,
+        config=config,
+        argv=getattr(args, "_argv", None),
+        fingerprints=prints,
+        phases=phases,
+        stats=stats,
+        executor=executor,
+        metrics=metrics,
+        wall_seconds=wall_seconds,
+    )
+    run_id = RunLedger(path).append(record)
+    print("recorded run %s -> %s" % (run_id, path), file=sys.stderr)
+    return run_id
+
+
+def _cell_fingerprints(cells) -> dict:
+    """Source fingerprint + per-cell content-addressed cache keys."""
+    from repro.experiments.executor import source_fingerprint
+
+    fp = source_fingerprint()
+    return {
+        "source": fp,
+        "cells": {cell.label: cell.key(fp) for cell in cells},
+    }
+
+
 def cmd_experiment(args) -> int:
     keys = sorted(ALL_EXPERIMENTS) if args.which == "all" else [args.which]
     for key in keys:
@@ -493,7 +715,13 @@ def cmd_experiment(args) -> int:
     if usage_error is not None:
         return usage_error
     jobs = _resolved_jobs(args)
-    if jobs is None and not args.cache_dir and args.timeout is None:
+    if (
+        jobs is None
+        and not args.cache_dir
+        and args.timeout is None
+        and not args.watch
+        and not args.progress_json
+    ):
         return _experiment_serial(args, keys)
     return _experiment_executor(args, keys, jobs or 1)
 
@@ -502,6 +730,7 @@ def _experiment_serial(args, keys) -> int:
     """The legacy in-process path (tables keep their wall-clock profile)."""
     from repro.telemetry import PROFILER
 
+    start = time.time()
     mark = PROFILER.mark()
     tables = []
     for key in keys:
@@ -514,6 +743,17 @@ def _experiment_serial(args, keys) -> int:
         _write_json(args.trace_events, PROFILER.to_trace_events(since=mark))
     if args.as_json:
         print(json.dumps([table.to_json() for table in tables], indent=2))
+    if _ledger_enabled(args):
+        from repro.experiments.executor import experiment_cells
+
+        _record_run(
+            args,
+            "experiment",
+            config={"which": args.which, "scale": args.scale, "experiments": keys},
+            fingerprints=_cell_fingerprints(experiment_cells(keys, args.scale)),
+            phases=PROFILER.summary(since=mark),
+            wall_seconds=round(time.time() - start, 6),
+        )
     return 0
 
 
@@ -521,22 +761,41 @@ def _experiment_executor(args, keys, jobs) -> int:
     """The cell-executor path: parallel, cached, fault tolerant."""
     from repro.experiments import run_all
 
+    start = time.time()
     metrics, trace = _executor_telemetry(args)
-    tables, report = run_all(
-        parallel=jobs,
-        scale=args.scale,
-        experiments=keys,
-        cache_dir=args.cache_dir,
-        timeout=args.timeout,
-        retries=args.retries,
-        metrics=metrics,
-        trace=trace,
-    )
+    progress, progress_writer = _progress_sinks(args)
+    try:
+        tables, report = run_all(
+            parallel=jobs,
+            scale=args.scale,
+            experiments=keys,
+            cache_dir=args.cache_dir,
+            timeout=args.timeout,
+            retries=args.retries,
+            metrics=metrics,
+            trace=trace,
+            progress=progress,
+        )
+    finally:
+        if progress_writer is not None:
+            progress_writer.close()
     for key in keys:
         _print_table(args, tables[key])
     _write_executor_telemetry(args, report, metrics, trace)
     if args.as_json:
         print(json.dumps([tables[key].to_json() for key in keys], indent=2))
+    if _ledger_enabled(args):
+        from repro.experiments.executor import experiment_cells
+
+        _record_run(
+            args,
+            "experiment",
+            config={"which": args.which, "scale": args.scale, "experiments": keys},
+            fingerprints=_cell_fingerprints(experiment_cells(keys, args.scale)),
+            executor=report.counters(),
+            metrics=metrics.to_dict() if metrics is not None else None,
+            wall_seconds=round(time.time() - start, 6),
+        )
     if report.failed:
         _print_failed_cells(report)
         return 2
@@ -595,23 +854,49 @@ def cmd_sweep(args) -> int:
     except Exception as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    start = time.time()
     metrics, trace = _executor_telemetry(args)
     jobs = _resolved_jobs(args)
-    result = sweep(
-        args.workloads,
-        policies=policies,
-        overrides=overrides,
-        scale=args.scale,
-        jobs=jobs or 1,
-        cache_dir=args.cache_dir,
-        timeout=args.timeout,
-        retries=args.retries,
-        metrics=metrics,
-        trace=trace,
-    )
+    progress, progress_writer = _progress_sinks(args)
+    try:
+        result = sweep(
+            args.workloads,
+            policies=policies,
+            overrides=overrides,
+            scale=args.scale,
+            jobs=jobs or 1,
+            cache_dir=args.cache_dir,
+            timeout=args.timeout,
+            retries=args.retries,
+            metrics=metrics,
+            trace=trace,
+            progress=progress,
+        )
+    finally:
+        if progress_writer is not None:
+            progress_writer.close()
     report = getattr(result, "report", None)
     if report is not None:
         _write_executor_telemetry(args, report, metrics, trace)
+    if _ledger_enabled(args):
+        from repro.experiments.sweeps import sweep_cells
+
+        _record_run(
+            args,
+            "sweep",
+            config={
+                "workloads": list(args.workloads),
+                "policies": policies,
+                "overrides": {k: list(v) for k, v in overrides.items()},
+                "scale": args.scale,
+            },
+            fingerprints=_cell_fingerprints(
+                sweep_cells(args.workloads, policies, overrides, args.scale)
+            ),
+            executor=report.counters() if report is not None else None,
+            metrics=metrics.to_dict() if metrics is not None else None,
+            wall_seconds=round(time.time() - start, 6),
+        )
     table = result.to_table()
     if args.as_json:
         print(json.dumps(table.to_json(), indent=2))
@@ -908,8 +1193,403 @@ def cmd_leakcheck(args) -> int:
     return 0 if result.clean else 1
 
 
+def cmd_runs(args) -> int:
+    """Inspect the run ledger: list, show one record, or diff two."""
+    from datetime import datetime
+
+    from repro.telemetry import (
+        DEFAULT_LEDGER,
+        RunLedger,
+        diff_records,
+        resolve_ledger_path,
+    )
+
+    path = resolve_ledger_path(args.ledger) or DEFAULT_LEDGER
+    ledger = RunLedger(path)
+
+    if args.action == "list":
+        if args.ids:
+            print("error: 'runs list' takes no run ids", file=sys.stderr)
+            return 2
+        records = ledger.records()
+        shown = records if args.last <= 0 else records[-args.last:]
+        if args.as_json:
+            print(json.dumps(shown, indent=2))
+            return 0
+        if not records:
+            print("no runs recorded in %s" % path)
+            return 0
+        print("%-12s %-10s %-19s %9s  %s" % ("id", "kind", "when", "wall", "config"))
+        for record in shown:
+            when = datetime.fromtimestamp(record.get("time", 0)).strftime(
+                "%Y-%m-%d %H:%M:%S"
+            )
+            wall = record.get("wall_seconds")
+            config = record.get("config") or {}
+            print(
+                "%-12s %-10s %-19s %9s  %s"
+                % (
+                    record["id"],
+                    record.get("kind", "?"),
+                    when,
+                    "-" if wall is None else "%.2fs" % wall,
+                    " ".join("%s=%s" % (k, config[k]) for k in sorted(config)),
+                )
+            )
+        if len(shown) < len(records):
+            print(
+                "(%d older run(s) hidden; --last 0 shows all)"
+                % (len(records) - len(shown))
+            )
+        return 0
+
+    if args.action == "show":
+        if len(args.ids) != 1:
+            print("error: 'runs show' takes exactly one run id", file=sys.stderr)
+            return 2
+        record = ledger.get(args.ids[0])
+        if record is None:
+            print(
+                "error: no run matching %r in %s" % (args.ids[0], path),
+                file=sys.stderr,
+            )
+            return 2
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+
+    # diff
+    if len(args.ids) != 2:
+        print("error: 'runs diff' takes exactly two run ids", file=sys.stderr)
+        return 2
+    pair = []
+    for run_id in args.ids:
+        record = ledger.get(run_id)
+        if record is None:
+            print(
+                "error: no run matching %r in %s" % (run_id, path), file=sys.stderr
+            )
+            return 2
+        pair.append(record)
+    diff = diff_records(pair[0], pair[1])
+    if args.as_json:
+        print(json.dumps(diff, indent=2))
+    else:
+        print(
+            "runs %s vs %s: %s"
+            % (diff["a"], diff["b"], "identical" if diff["identical"] else "DIFFER")
+        )
+        for section in ("config", "fingerprints", "stats", "counters", "phases"):
+            changed = diff[section]
+            if not changed:
+                continue
+            print("%s:" % section)
+            for key, entry in changed.items():
+                delta = ""
+                if "delta" in entry:
+                    delta = "  (%+g)" % entry["delta"]
+                print("  %-36s %s -> %s%s" % (key, entry["a"], entry["b"], delta))
+    return 0 if diff["identical"] else 1
+
+
+def _format_decision(decision) -> str:
+    """One-cell summary of a policy's squash-time decision context."""
+    if not isinstance(decision, dict):
+        return "-"
+    state = decision.get("pair_state")
+    if not isinstance(state, dict):
+        return decision.get("decision", "-")
+    predicts = state.get("predicts_dependence")
+    return "ctr=%s dist=%s predicts=%s" % (
+        state.get("counter", "?"),
+        state.get("distance", "?"),
+        {True: "yes", False: "no"}.get(predicts, "?"),
+    )
+
+
+def cmd_explain(args) -> int:
+    """Why did we squash? Per-pair causes vs the symbolic verdicts."""
+    from repro.multiscalar.explain import explain_program
+
+    try:
+        program = _load_program(args.target, args.scale)
+    except Exception as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    report = explain_program(program, policy=args.policy, stages=args.stages)
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+        return 1 if report.contradictions else 0
+
+    stats = report.stats
+    print(
+        "%s under %s on %d stages: %s cycles, %s squash(es) over %d static pair(s)"
+        % (
+            report.program,
+            report.policy.upper(),
+            report.stages,
+            stats.get("cycles", "?"),
+            stats.get("mis_speculations", "?"),
+            len(report.rows),
+        )
+    )
+    if report.verdict_counts:
+        print(
+            "verdicts: "
+            + "  ".join(
+                "%s=%d" % (v, n) for v, n in sorted(report.verdict_counts.items())
+            )
+        )
+    rows = report.top(args.top)
+    if not rows:
+        print("no squashes -- nothing to explain")
+    else:
+        print()
+        print(
+            "%-10s %-10s %8s %6s %8s %7s  %s"
+            % ("store PC", "load PC", "squashes", "DIST", "verdict", "static", "last decision")
+        )
+        for row in rows:
+            static = row.get("static_distance")
+            print(
+                "%-10d %-10d %8d %6d %8s %7s  %s"
+                % (
+                    row["store_pc"],
+                    row["load_pc"],
+                    row["squashes"],
+                    row["modal_distance"],
+                    row["verdict"],
+                    "-" if static is None else static,
+                    _format_decision(row.get("last_decision")),
+                )
+            )
+        if len(report.rows) > len(rows):
+            print(
+                "(%d more pair(s); raise --top to see them)"
+                % (len(report.rows) - len(rows))
+            )
+    for row in report.contradictions:
+        print(
+            "CONTRADICTION: pair (%d, %d) squashed %d time(s) but the "
+            "symbolic analysis proved it non-aliasing"
+            % (row["store_pc"], row["load_pc"], row["squashes"]),
+            file=sys.stderr,
+        )
+    return 1 if report.contradictions else 0
+
+
+def cmd_metrics_serve(args) -> int:
+    """Serve a --metrics snapshot in Prometheus text format."""
+    from repro.telemetry.prometheus import MetricsServer, to_prometheus
+
+    def render() -> str:
+        with open(args.snapshot) as fh:
+            return to_prometheus(json.load(fh))
+
+    try:
+        text = render()
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(
+            "error: cannot render %s: %s" % (args.snapshot, exc), file=sys.stderr
+        )
+        return 2
+    if args.once:
+        sys.stdout.write(text)
+        return 0
+    server = MetricsServer(render, host=args.host, port=args.port)
+    print(
+        "serving %s at http://%s:%d/metrics (Ctrl-C to stop)"
+        % (args.snapshot, args.host, server.port),
+        file=sys.stderr,
+    )
+    try:
+        if args.max_requests is not None:
+            server.handle_requests(args.max_requests)
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _read_bench_history(path) -> list:
+    out = []
+    try:
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(entry, dict):
+                    out.append(entry)
+    except OSError:
+        pass
+    return out
+
+
+def _hotpath_of(results) -> Optional[dict]:
+    """The hotpath record inside a benchmark results list, if any."""
+    for record in results or []:
+        if isinstance(record, dict) and "hotpath" in record:
+            return record["hotpath"]
+    return None
+
+
+def cmd_bench_report(args) -> int:
+    """Benchmark trajectory + >25% hot-path regression check."""
+    history = _read_bench_history(args.history)
+    latest_results = None
+    try:
+        with open(args.results) as fh:
+            payload = json.load(fh)
+        latest_results = payload.get("results")
+    except (OSError, ValueError, AttributeError):
+        latest_results = None
+    if latest_results is None and history:
+        latest_results = history[-1].get("results")
+    if latest_results is None and not history:
+        print(
+            "error: no benchmark data (looked for %s and %s); run "
+            "'pytest benchmarks/ --benchmark-only' first"
+            % (args.history, args.results),
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError):
+        baseline = {}
+    tolerance = baseline.get("tolerance", 1.25)
+
+    hotpath = _hotpath_of(latest_results)
+    regressions = []
+    if hotpath is not None:
+        for leg in ("warm", "cold"):
+            measured = hotpath.get("%s_speedup" % leg)
+            reference = baseline.get("%s_speedup" % leg)
+            if measured is None or reference is None:
+                continue
+            floor = round(reference / tolerance, 2)
+            if measured < floor:
+                regressions.append(
+                    {
+                        "leg": leg,
+                        "measured": measured,
+                        "baseline": reference,
+                        "floor": floor,
+                    }
+                )
+
+    trajectory = []
+    for entry in history:
+        point = {
+            "git_sha": entry.get("git_sha"),
+            "time": entry.get("time"),
+            "scale": entry.get("scale"),
+            "benchmarks": len(entry.get("results") or []),
+            "total_seconds": round(
+                sum(
+                    r.get("seconds", 0.0)
+                    for r in entry.get("results") or []
+                    if isinstance(r, dict)
+                ),
+                3,
+            ),
+        }
+        hp = _hotpath_of(entry.get("results"))
+        if hp is not None:
+            point["warm_speedup"] = hp.get("warm_speedup")
+            point["cold_speedup"] = hp.get("cold_speedup")
+        trajectory.append(point)
+
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "history": trajectory,
+                    "hotpath": hotpath,
+                    "baseline": baseline,
+                    "tolerance": tolerance,
+                    "regressions": regressions,
+                },
+                indent=2,
+            )
+        )
+        return 1 if regressions else 0
+
+    from datetime import datetime
+
+    if trajectory:
+        print("benchmark history (%s):" % args.history)
+        print(
+            "%-10s %-19s %-6s %6s %10s %6s %6s"
+            % ("sha", "when", "scale", "n", "total", "warm", "cold")
+        )
+        for point in trajectory:
+            when = (
+                datetime.fromtimestamp(point["time"]).strftime("%Y-%m-%d %H:%M:%S")
+                if point.get("time")
+                else "-"
+            )
+            print(
+                "%-10s %-19s %-6s %6d %9.1fs %6s %6s"
+                % (
+                    point.get("git_sha") or "-",
+                    when,
+                    point.get("scale") or "-",
+                    point["benchmarks"],
+                    point["total_seconds"],
+                    point.get("warm_speedup", "-"),
+                    point.get("cold_speedup", "-"),
+                )
+            )
+    else:
+        print("no benchmark history at %s" % args.history)
+    if hotpath is None:
+        print("no hot-path record in the latest results; regression check skipped")
+        return 0
+    print(
+        "hot path: warm %sx (baseline %sx), cold %sx (baseline %sx), "
+        "tolerance %sx"
+        % (
+            hotpath.get("warm_speedup", "?"),
+            baseline.get("warm_speedup", "?"),
+            hotpath.get("cold_speedup", "?"),
+            baseline.get("cold_speedup", "?"),
+            tolerance,
+        )
+    )
+    if regressions:
+        for reg in regressions:
+            print(
+                "REGRESSION: %s-cache speedup %sx fell below %sx "
+                "(baseline %sx / tolerance %sx)"
+                % (
+                    reg["leg"],
+                    reg["measured"],
+                    reg["floor"],
+                    reg["baseline"],
+                    tolerance,
+                ),
+                file=sys.stderr,
+            )
+        return 1
+    print("no regression: both legs within tolerance of the pinned baseline")
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
+    # the raw argv rides along for the run ledger (tests pass argv
+    # explicitly, so sys.argv would be the test runner's)
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     handler = {
         "workloads": cmd_workloads,
         "trace": cmd_trace,
@@ -921,6 +1601,10 @@ def main(argv=None) -> int:
         "staticdep": cmd_staticdep,
         "lint": cmd_lint,
         "leakcheck": cmd_leakcheck,
+        "runs": cmd_runs,
+        "explain": cmd_explain,
+        "metrics-serve": cmd_metrics_serve,
+        "bench-report": cmd_bench_report,
     }[args.command]
     try:
         return handler(args)

@@ -98,6 +98,7 @@ def run_all(
     retries=1,
     metrics=None,
     trace=None,
+    progress=None,
 ):
     """Run experiments through the parallel executor.
 
@@ -112,6 +113,8 @@ def run_all(
         retries: re-attempts per FAILED cell.
         metrics/trace: optional telemetry sinks for executor counters
             and the per-worker Chrome trace.
+        progress: optional live-progress callback (see
+            :mod:`repro.experiments.progress`).
 
     Returns:
         ``(tables, report)`` — a dict of experiment id ->
@@ -149,6 +152,7 @@ def run_all(
         metrics=metrics,
         trace=trace,
         prewarm=prewarm,
+        progress=progress,
     )
     report = executor.run(cells)
     return assemble_experiments(keys, report), report

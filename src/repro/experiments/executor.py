@@ -399,6 +399,10 @@ class Executor:
         prewarm: optional callable run once in the parent before the
             pool forks — e.g. trace-cache warming that every worker
             then inherits copy-on-write.
+        progress: optional callback receiving live progress events
+            (``start`` / ``cell`` / ``done`` dicts, see
+            :mod:`repro.experiments.progress`) as cells complete; the
+            default None skips all progress accounting.
     """
 
     def __init__(
@@ -411,6 +415,7 @@ class Executor:
         metrics=None,
         trace=None,
         prewarm: Optional[Callable[[], None]] = None,
+        progress: Optional[Callable[[dict], None]] = None,
     ):
         self.jobs = max(1, int(jobs or 1))
         if cache is not None and not isinstance(cache, ResultCache):
@@ -422,6 +427,8 @@ class Executor:
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.trace = trace if trace is not None else NULL_TRACE
         self.prewarm = prewarm
+        self.progress = progress
+        self._tracker = None
 
     def run(self, cells: Iterable[Cell]) -> RunReport:
         """Execute *cells*, returning results in input order."""
@@ -449,6 +456,14 @@ class Executor:
             else:
                 pending.append(index)
 
+        if self.progress is not None:
+            from repro.experiments.progress import ProgressTracker
+
+            self._tracker = ProgressTracker(
+                total=len(cells), cached=len(cells) - len(pending), jobs=self.jobs
+            )
+            self.progress(self._tracker.start_event())
+
         retried = 0
         if pending:
             if self.jobs == 1:
@@ -472,6 +487,9 @@ class Executor:
             wall_seconds=time.time() - start,
             retried=retried,
         )
+        if self._tracker is not None:
+            self.progress(self._tracker.done_event(report.wall_seconds))
+            self._tracker = None
         self._publish(report, start)
         return report
 
@@ -479,6 +497,18 @@ class Executor:
 
     def _attempts_left(self, attempts) -> bool:
         return attempts <= self.retries
+
+    def _cell_progress(self, result: CellResult) -> None:
+        if self._tracker is not None:
+            self.progress(
+                self._tracker.cell_event(
+                    result.cell.label,
+                    ok=result.ok,
+                    seconds=result.seconds,
+                    attempts=result.attempts,
+                    retried=result.attempts - 1,
+                )
+            )
 
     def _run_inline(self, cells, keys, results, pending) -> int:
         retried = 0
@@ -493,6 +523,7 @@ class Executor:
                     break
                 retried += 1
             results[index] = self._to_result(cells[index], outcome, attempts)
+            self._cell_progress(results[index])
         return retried
 
     def _run_pool(self, cells, keys, results, pending) -> int:
@@ -533,6 +564,7 @@ class Executor:
                         except Exception:
                             pass  # pool unusable; record the failure
                     results[index] = self._to_result(cells[index], outcome, attempts)
+                    self._cell_progress(results[index])
         return retried
 
     @staticmethod

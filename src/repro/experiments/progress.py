@@ -1,0 +1,213 @@
+"""Live progress for executor runs: events, ETA, renderers.
+
+Long sweeps used to run blind until the final table appeared.  The
+executor now emits one progress event per state change through an
+optional callback:
+
+* ``{"event": "start", ...}`` — once, after the cache scan: total
+  cells, how many were served from the cache, worker count;
+* ``{"event": "cell", ...}`` — one per executed cell as it completes:
+  label, status, attempts, running done/failed/retried counts, and an
+  ETA from an exponentially-weighted moving average of cell durations
+  (recent cells dominate, so the estimate tracks grids whose cells get
+  progressively heavier);
+* ``{"event": "done", ...}`` — once, with the final counters.
+
+:class:`ProgressTracker` owns the counting and the EWMA; renderers
+consume the event dicts: :class:`AnsiRenderer` rewrites one status line
+in place on a TTY, :class:`LineRenderer` prints one plain line per
+event for pipes and CI logs, and :class:`JsonlWriter` appends each
+event verbatim as JSON (``--progress-json``, the machine interface).
+Everything renders to *stderr* by convention so the result table on
+stdout stays byte-identical to a non-watch run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, List, Optional
+
+
+class ProgressTracker:
+    """Counts cell completions and estimates time remaining.
+
+    The ETA divides the EWMA cell duration by the worker count: with
+    *jobs* workers drawing from one queue, *n* remaining cells take
+    roughly ``n * mean / jobs`` wall seconds.
+    """
+
+    def __init__(self, total: int, cached: int = 0, jobs: int = 1, alpha: float = 0.3):
+        self.total = total
+        self.cached = cached
+        self.jobs = max(1, jobs)
+        self.alpha = alpha
+        self.done = cached
+        self.failed = 0
+        self.retried = 0
+        self.ewma_seconds: Optional[float] = None
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total - self.done)
+
+    @property
+    def eta_seconds(self) -> Optional[float]:
+        """Estimated wall seconds to finish, None before any sample."""
+        if self.ewma_seconds is None:
+            return None
+        return round(self.ewma_seconds * self.remaining / self.jobs, 3)
+
+    def start_event(self) -> dict:
+        return {
+            "event": "start",
+            "total": self.total,
+            "cached": self.cached,
+            "jobs": self.jobs,
+        }
+
+    def cell_event(
+        self, label: str, ok: bool, seconds: float, attempts: int = 1, retried: int = 0
+    ) -> dict:
+        """Account one completed cell and return its progress event."""
+        self.done += 1
+        if not ok:
+            self.failed += 1
+        self.retried += retried
+        if self.ewma_seconds is None:
+            self.ewma_seconds = seconds
+        else:
+            self.ewma_seconds += self.alpha * (seconds - self.ewma_seconds)
+        return {
+            "event": "cell",
+            "label": label,
+            "status": "ok" if ok else "failed",
+            "seconds": round(seconds, 6),
+            "attempts": attempts,
+            "done": self.done,
+            "total": self.total,
+            "failed": self.failed,
+            "cached": self.cached,
+            "retried": self.retried,
+            "eta_seconds": self.eta_seconds,
+        }
+
+    def done_event(self, wall_seconds: float) -> dict:
+        return {
+            "event": "done",
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "cached": self.cached,
+            "retried": self.retried,
+            "wall_seconds": round(wall_seconds, 6),
+        }
+
+
+def _format_eta(eta: Optional[float]) -> str:
+    if eta is None:
+        return "eta ?"
+    if eta >= 60:
+        return "eta %dm%02ds" % (int(eta) // 60, int(eta) % 60)
+    return "eta %.0fs" % eta
+
+
+def _format_event(event: dict) -> str:
+    kind = event["event"]
+    if kind == "start":
+        return "sweep: %d cell(s), %d cached, %d worker(s)" % (
+            event["total"],
+            event["cached"],
+            event["jobs"],
+        )
+    if kind == "cell":
+        extras = []
+        if event["failed"]:
+            extras.append("%d failed" % event["failed"])
+        if event["retried"]:
+            extras.append("%d retried" % event["retried"])
+        extra = (", " + ", ".join(extras)) if extras else ""
+        return "[%d/%d] %s %s (%.2fs%s, %s)" % (
+            event["done"],
+            event["total"],
+            event["status"],
+            event["label"],
+            event["seconds"],
+            extra,
+            _format_eta(event["eta_seconds"]),
+        )
+    if kind == "done":
+        return "sweep: %d/%d done, %d failed, %d cached, %d retried in %.2fs" % (
+            event["done"],
+            event["total"],
+            event["failed"],
+            event["cached"],
+            event["retried"],
+            event["wall_seconds"],
+        )
+    return json.dumps(event, sort_keys=True)
+
+
+class LineRenderer:
+    """One plain line per event — pipes, CI logs, non-TTY fallback."""
+
+    def __init__(self, stream: IO[str]):
+        self.stream = stream
+
+    def __call__(self, event: dict) -> None:
+        self.stream.write(_format_event(event) + "\n")
+        self.stream.flush()
+
+
+class AnsiRenderer:
+    """One status line rewritten in place (``\\r`` + erase-to-EOL)."""
+
+    def __init__(self, stream: IO[str]):
+        self.stream = stream
+
+    def __call__(self, event: dict) -> None:
+        text = _format_event(event)
+        if event["event"] == "done":
+            self.stream.write("\r\x1b[K" + text + "\n")
+        else:
+            self.stream.write("\r\x1b[K" + text)
+        self.stream.flush()
+
+
+def make_renderer(stream: IO[str]):
+    """ANSI in-place rendering on a TTY, line mode everywhere else."""
+    if getattr(stream, "isatty", lambda: False)():
+        return AnsiRenderer(stream)
+    return LineRenderer(stream)
+
+
+class JsonlWriter:
+    """Append each progress event as one JSON line (``--progress-json``)."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fh: Optional[IO[str]] = None
+
+    def __call__(self, event: dict) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "w")
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def fanout(*sinks) -> "Optional[object]":
+    """One callback delivering each event to every non-None sink."""
+    live: List[object] = [s for s in sinks if s is not None]
+    if not live:
+        return None
+
+    def deliver(event: dict) -> None:
+        for sink in live:
+            sink(event)
+
+    return deliver

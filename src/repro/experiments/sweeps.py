@@ -124,7 +124,7 @@ def sweep_cells(
 
 def _sweep_parallel(
     workloads, policies, overrides, scale, jobs, cache_dir, timeout, retries,
-    metrics=None, trace=None,
+    metrics=None, trace=None, progress=None,
 ) -> SweepResult:
     from repro.experiments.executor import Executor
 
@@ -136,6 +136,7 @@ def _sweep_parallel(
         retries=retries,
         metrics=metrics,
         trace=trace,
+        progress=progress,
     )
     report = executor.run(cells)
     result = SweepResult()
@@ -173,6 +174,7 @@ def sweep(
     retries: int = 1,
     metrics=None,
     trace=None,
+    progress=None,
 ) -> SweepResult:
     """Run the full cross product and return a :class:`SweepResult`.
 
@@ -198,7 +200,7 @@ def sweep(
             )
         return _sweep_parallel(
             workloads, policies, overrides, scale, jobs, cache_dir,
-            timeout, retries, metrics=metrics, trace=trace,
+            timeout, retries, metrics=metrics, trace=trace, progress=progress,
         )
     overrides = overrides or {}
     base = base_config or MultiscalarConfig()

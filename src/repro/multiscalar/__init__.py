@@ -1,6 +1,7 @@
 """Multiscalar processor substrate: config, sequencer, policies, simulator."""
 
 from repro.multiscalar.debug import TimelineRecorder, ViolationRecord
+from repro.multiscalar.explain import ExplainReport, SquashLedger, explain_program
 from repro.multiscalar.config import (
     FU_COUNTS,
     FU_LATENCIES,
@@ -30,8 +31,11 @@ from repro.multiscalar.sequencer import PathBasedTaskPredictor, ReturnAddressSta
 
 __all__ = [
     "AlwaysPolicy",
+    "ExplainReport",
     "FU_COUNTS",
     "FU_LATENCIES",
+    "SquashLedger",
+    "explain_program",
     "MechanismPolicy",
     "MultiscalarConfig",
     "MultiscalarSimulator",

@@ -97,6 +97,16 @@ class SpeculationPolicy:
     def on_squash(self, first_seq, now):
         """Instruction *first_seq* and everything younger were squashed."""
 
+    def explain_violation(self, store_seq, load_seq) -> Dict[str, object]:
+        """The policy's view of a violation it just suffered, as one
+        JSON-able dict — consulted by the squash ledger
+        (:mod:`repro.multiscalar.explain`) *after* :meth:`on_violation`
+        and before the squash, so predictor tables already reflect the
+        mis-speculation.  Must not mutate policy state.  The base
+        answer: the policy held no per-pair state that could have
+        prevented the squash."""
+        return {"decision": "speculated", "pair_state": None}
+
     def on_task_dispatched(self, task_id, now):
         """A task entered the window (its instructions are now fetched)."""
 
@@ -380,6 +390,45 @@ class MechanismPolicy(SpeculationPolicy):
             distance=distance,
             store_task_pc=store.task_pc,
         )
+
+    def explain_violation(self, store_seq, load_seq):
+        """MDPT/MDST state for the just-recorded violation.
+
+        ``on_violation`` has already run, so the entry (allocated or
+        strengthened by :meth:`SynchronizationEngine.record_mis_speculation`)
+        reflects the squash-time state the next instance will consult.
+        """
+        trace = self.sim.trace
+        store_pc = trace[store_seq].pc
+        load_pc = trace[load_seq].pc
+        entry = self.engine.mdpt.get(store_pc, load_pc)
+        mdpt_entry = None
+        if entry is not None:
+            state = entry.state
+            predictor = self.engine.mdpt.predictor
+            counter = getattr(state, "value", None)
+            threshold = getattr(predictor, "threshold", None)
+            if counter is not None and threshold is not None:
+                # threshold arming, not predict(): path-sensitive
+                # predictors need a candidate task PC we no longer have
+                armed = counter >= threshold
+            elif state is not None:
+                armed = bool(predictor.predict(state))
+            else:
+                armed = None
+            mdpt_entry = {
+                "distance": entry.distance,
+                "counter": counter,
+                "predicts_dependence": armed,
+            }
+        mdst = self.engine.mdst
+        return {
+            "decision": "speculated",
+            "predictor": self.predictor_name,
+            "tagging": self.tagging,
+            "pair_state": mdpt_entry,
+            "mdst_waiting_loads": sum(1 for e in mdst if e.waiting),
+        }
 
     def on_squash(self, first_seq, now):
         sim = self.sim

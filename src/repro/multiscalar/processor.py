@@ -86,6 +86,7 @@ class MultiscalarSimulator:
         telemetry=None,
         share_index=True,
         sanitizer=None,
+        squash_ledger=None,
     ):
         self.trace = trace
         self.config = config or MultiscalarConfig()
@@ -107,6 +108,12 @@ class MultiscalarSimulator:
         # observes violations for transient secret reads; counts events
         # unconditionally, publishes telemetry only when enabled
         self._sanitizer = sanitizer.bind(self) if sanitizer is not None else None
+        # optional squash ledger (repro.multiscalar.explain): records one
+        # structured cause per violation; observation only, results are
+        # bit-identical with or without it
+        self._squash_ledger = (
+            squash_ledger.bind(self) if squash_ledger is not None else None
+        )
 
     # ------------------------------------------------------------------
     # static preprocessing
@@ -1023,6 +1030,10 @@ class MultiscalarSimulator:
             # before the squash: the issued flags still describe the
             # speculative window the sanitizer inspects
             self._sanitizer.on_violation(store_seq, load_seq, time)
+        if self._squash_ledger is not None:
+            # after the policy recorded the mis-speculation (so MDPT
+            # state is the squash-time state) and before the squash
+            self._squash_ledger.on_violation(store_seq, load_seq, time)
         restart = time + self.config.squash_penalty
         self._squash_from_seq(load_seq, restart)
         # the store itself survives; let it signal for the re-execution

@@ -21,7 +21,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.telemetry.ledger import (
+    DEFAULT_LEDGER,
+    RunLedger,
+    diff_records,
+    make_record,
+    resolve_ledger_path,
+)
 from repro.telemetry.profiler import PROFILER, Profiler, ProfileRecord, ProfileScope
+from repro.telemetry.prometheus import MetricsServer, serve_registry, to_prometheus
 from repro.telemetry.registry import (
     NULL_METRICS,
     Counter,
@@ -65,9 +73,17 @@ def make_telemetry(metrics=True, trace=True, pid=0) -> Telemetry:
 
 __all__ = [
     "Counter",
+    "DEFAULT_LEDGER",
     "Gauge",
     "Histogram",
     "MetricRegistry",
+    "MetricsServer",
+    "RunLedger",
+    "diff_records",
+    "make_record",
+    "resolve_ledger_path",
+    "serve_registry",
+    "to_prometheus",
     "NULL_METRICS",
     "NULL_TELEMETRY",
     "NULL_TRACE",

@@ -1,0 +1,163 @@
+"""Tests for executor progress events, ETA, and renderers."""
+
+import io
+import json
+
+from repro.experiments.executor import Cell, Executor
+from repro.experiments.progress import (
+    AnsiRenderer,
+    JsonlWriter,
+    LineRenderer,
+    ProgressTracker,
+    fanout,
+    make_renderer,
+)
+
+
+def ok_cell(spec):
+    return {"name": spec["name"]}
+
+
+def make_cells(n):
+    return [Cell.make("test", "cell%d" % i, index=i) for i in range(n)]
+
+
+# -- ProgressTracker -------------------------------------------------------
+
+
+def test_start_event_shape():
+    tracker = ProgressTracker(total=10, cached=4, jobs=2)
+    assert tracker.start_event() == {
+        "event": "start",
+        "total": 10,
+        "cached": 4,
+        "jobs": 2,
+    }
+    assert tracker.done == 4  # cached cells are already done
+    assert tracker.remaining == 6
+
+
+def test_eta_none_before_first_sample():
+    assert ProgressTracker(total=5).eta_seconds is None
+
+
+def test_eta_is_ewma_over_jobs():
+    tracker = ProgressTracker(total=5, jobs=2, alpha=0.5)
+    tracker.cell_event("a", ok=True, seconds=2.0)
+    # ewma = 2.0, 4 remaining, 2 jobs -> 4.0s
+    assert tracker.eta_seconds == 4.0
+    tracker.cell_event("b", ok=True, seconds=4.0)
+    # ewma = 2 + 0.5*(4-2) = 3.0, 3 remaining, 2 jobs -> 4.5s
+    assert tracker.eta_seconds == 4.5
+
+
+def test_cell_event_counts_failures_and_retries():
+    tracker = ProgressTracker(total=3)
+    event = tracker.cell_event("a", ok=False, seconds=0.1, attempts=2, retried=1)
+    assert event["status"] == "failed"
+    assert event["failed"] == 1
+    assert event["retried"] == 1
+    assert event["attempts"] == 2
+    done = tracker.done_event(1.5)
+    assert done["event"] == "done"
+    assert done["failed"] == 1
+    assert done["wall_seconds"] == 1.5
+
+
+# -- renderers -------------------------------------------------------------
+
+
+def test_line_renderer_one_line_per_event():
+    stream = io.StringIO()
+    render = LineRenderer(stream)
+    tracker = ProgressTracker(total=2, jobs=1)
+    render(tracker.start_event())
+    render(tracker.cell_event("sweep:sc/esync", ok=True, seconds=0.5))
+    render(tracker.done_event(1.0))
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 3
+    assert "2 cell(s)" in lines[0]
+    assert "[1/2] ok sweep:sc/esync" in lines[1]
+    assert "1/2 done" in lines[2]
+
+
+def test_ansi_renderer_rewrites_in_place():
+    stream = io.StringIO()
+    render = AnsiRenderer(stream)
+    tracker = ProgressTracker(total=1)
+    render(tracker.cell_event("x", ok=True, seconds=0.1))
+    render(tracker.done_event(0.1))
+    out = stream.getvalue()
+    assert out.count("\r\x1b[K") == 2
+    assert out.endswith("\n")  # the final line is terminated
+
+
+def test_make_renderer_picks_line_mode_off_tty():
+    assert isinstance(make_renderer(io.StringIO()), LineRenderer)
+
+    class Tty(io.StringIO):
+        def isatty(self):
+            return True
+
+    assert isinstance(make_renderer(Tty()), AnsiRenderer)
+
+
+def test_jsonl_writer_appends_events(tmp_path):
+    path = tmp_path / "progress.jsonl"
+    writer = JsonlWriter(path)
+    tracker = ProgressTracker(total=1)
+    writer(tracker.start_event())
+    writer(tracker.cell_event("a", ok=True, seconds=0.2))
+    writer.close()
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [e["event"] for e in events] == ["start", "cell"]
+    assert events[1]["label"] == "a"
+
+
+def test_fanout_delivers_to_all_sinks():
+    seen_a, seen_b = [], []
+    deliver = fanout(seen_a.append, None, seen_b.append)
+    deliver({"event": "start"})
+    assert seen_a == seen_b == [{"event": "start"}]
+    assert fanout(None, None) is None
+
+
+# -- executor integration --------------------------------------------------
+
+
+def test_executor_emits_progress_events_inline():
+    events = []
+    Executor(jobs=1, run_cell=ok_cell, progress=events.append).run(make_cells(3))
+    kinds = [e["event"] for e in events]
+    assert kinds == ["start", "cell", "cell", "cell", "done"]
+    assert events[0]["total"] == 3
+    assert [e["done"] for e in events[1:4]] == [1, 2, 3]
+    assert events[-1]["failed"] == 0
+
+
+def test_executor_emits_progress_events_pooled():
+    events = []
+    Executor(jobs=2, run_cell=ok_cell, progress=events.append).run(make_cells(4))
+    assert [e["event"] for e in events] == ["start"] + ["cell"] * 4 + ["done"]
+    assert sorted(e["done"] for e in events[1:5]) == [1, 2, 3, 4]
+
+
+def test_executor_counts_cached_cells_in_start_event(tmp_path):
+    cells = make_cells(2)
+    cache = str(tmp_path / "cache")
+    Executor(jobs=1, cache=cache, run_cell=ok_cell).run(cells)
+    events = []
+    Executor(jobs=1, cache=cache, run_cell=ok_cell, progress=events.append).run(
+        cells
+    )
+    assert events[0] == {"event": "start", "total": 2, "cached": 2, "jobs": 1}
+    assert events[-1]["event"] == "done"
+    assert events[-1]["done"] == 2  # nothing executed, everything cached
+
+
+def test_executor_without_progress_has_no_overhead_path():
+    # the default is progress=None: the tracker is never built
+    executor = Executor(jobs=1, run_cell=ok_cell)
+    executor.run(make_cells(1))
+    assert executor.progress is None
+    assert executor._tracker is None

@@ -1,0 +1,119 @@
+"""Tests for the append-only run ledger."""
+
+import json
+
+from repro.telemetry import (
+    RunLedger,
+    diff_records,
+    make_record,
+    resolve_ledger_path,
+)
+
+
+def simulate_record(policy="esync", cycles=100, wall=1.0):
+    return make_record(
+        "simulate",
+        config={"workload": "sc", "policy": policy, "stages": 8},
+        argv=["simulate", "sc", "--policy", policy],
+        fingerprints={"source": "aaa", "trace": "bbb"},
+        phases={"simulate": {"calls": 1, "seconds": wall}},
+        stats={"cycles": cycles, "ipc": 2.0},
+        metrics={"counters": {"x": 1}, "series": {"rob": [[0, 1]]}},
+        wall_seconds=wall,
+    )
+
+
+def test_record_has_content_addressed_id():
+    record = simulate_record()
+    assert len(record["id"]) == 12
+    int(record["id"], 16)
+    assert record["version"] == 1
+
+
+def test_record_drops_series_from_metrics():
+    record = simulate_record()
+    assert "series" not in record["metrics"]
+    assert record["metrics"]["counters"] == {"x": 1}
+
+
+def test_append_and_read_roundtrip(tmp_path):
+    ledger = RunLedger(tmp_path / "runs.jsonl")
+    first = ledger.append(simulate_record(cycles=100))
+    second = ledger.append(simulate_record(cycles=200))
+    records = ledger.records()
+    assert [r["id"] for r in records] == [first, second]
+    assert len(ledger) == 2
+
+
+def test_append_creates_parent_directory(tmp_path):
+    ledger = RunLedger(tmp_path / "deep" / "down" / "runs.jsonl")
+    ledger.append(simulate_record())
+    assert len(ledger) == 1
+
+
+def test_get_by_exact_id_and_unique_prefix(tmp_path):
+    ledger = RunLedger(tmp_path / "runs.jsonl")
+    run_id = ledger.append(simulate_record())
+    assert ledger.get(run_id)["id"] == run_id
+    assert ledger.get(run_id[:6])["id"] == run_id
+    assert ledger.get("nonexistent") is None
+
+
+def test_corrupt_lines_are_skipped(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    ledger = RunLedger(path)
+    kept = ledger.append(simulate_record())
+    with open(path, "a") as fh:
+        fh.write("{truncated\n")
+        fh.write("[1, 2, 3]\n")  # JSON but not a record
+        fh.write("\n")
+    records = ledger.records()
+    assert [r["id"] for r in records] == [kept]
+
+
+def test_missing_file_reads_empty(tmp_path):
+    assert RunLedger(tmp_path / "absent.jsonl").records() == []
+
+
+def test_records_are_single_json_lines(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    RunLedger(path).append(simulate_record())
+    (line,) = path.read_text().splitlines()
+    assert json.loads(line)["kind"] == "simulate"
+
+
+def test_diff_identical_runs_ignores_wall_clock():
+    a = simulate_record(wall=1.0)
+    b = simulate_record(wall=9.0)  # same content, different timing
+    diff = diff_records(a, b)
+    assert diff["identical"]
+    assert diff["config"] == {}
+    assert diff["stats"] == {}
+    assert diff["phases"]  # timing difference is still reported
+
+
+def test_diff_reports_changed_fields_with_deltas():
+    a = simulate_record(policy="esync", cycles=100)
+    b = simulate_record(policy="always", cycles=150)
+    diff = diff_records(a, b)
+    assert not diff["identical"]
+    assert diff["config"]["policy"] == {"a": "esync", "b": "always"}
+    assert diff["stats"]["cycles"]["delta"] == 50
+
+
+def test_diff_detects_fingerprint_drift():
+    a = simulate_record()
+    b = dict(simulate_record())
+    b["fingerprints"] = {"source": "zzz", "trace": "bbb"}
+    diff = diff_records(a, b)
+    assert not diff["identical"]
+    assert "source" in diff["fingerprints"]
+
+
+def test_resolve_ledger_path_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_LEDGER", raising=False)
+    assert resolve_ledger_path(None) is None
+    assert resolve_ledger_path("x.jsonl") == "x.jsonl"
+    monkeypatch.setenv("REPRO_LEDGER", "env.jsonl")
+    assert resolve_ledger_path(None) == "env.jsonl"
+    assert resolve_ledger_path("flag.jsonl") == "flag.jsonl"

@@ -106,3 +106,37 @@ def test_null_registry_is_disabled_and_inert():
     assert d == {"counters": {}, "gauges": {}, "histograms": {}, "series": {}}
     # shared instruments: no per-call allocation
     assert null.counter("a") is null.counter("zzz")
+
+
+def test_histogram_to_dict_carries_max_exponent_and_overflow():
+    h = Histogram(max_exponent=4)
+    h.observe(3)
+    h.observe(1000)  # overflow for a 4-exponent histogram
+    payload = h.to_dict()
+    assert payload["max_exponent"] == 4
+    assert payload["overflow"] == 1
+
+
+def test_histogram_roundtrip_is_lossless():
+    h = Histogram(max_exponent=6)
+    for value in (1, 1, 3, 7, 64, 10**9):
+        h.observe(value)
+    clone = Histogram.from_dict(json.loads(json.dumps(h.to_dict())))
+    assert clone.to_dict() == h.to_dict()
+    assert clone.max_exponent == h.max_exponent
+    assert clone.mean == h.mean
+    clone.observe(5)  # still a live instrument, not a frozen snapshot
+    assert clone.count == h.count + 1
+
+
+def test_registry_roundtrip_is_lossless():
+    reg = MetricRegistry()
+    reg.counter("c").inc(5)
+    reg.gauge("g").set(1.5)
+    reg.gauge("name").set("esync")
+    reg.histogram("h", max_exponent=8).observe(300)
+    reg.series("s").sample(1, 2)
+    reg.series("s").sample(9, 4)
+    clone = MetricRegistry.from_dict(json.loads(json.dumps(reg.to_dict())))
+    assert clone.to_dict() == reg.to_dict()
+    assert clone.histogram("h").max_exponent == 8

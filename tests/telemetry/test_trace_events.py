@@ -83,3 +83,52 @@ def test_merged_trace_groups_by_pid():
     assert [(m["pid"], m["args"]["name"]) for m in meta] == [(0, "NEVER"), (1, "ESYNC")]
     spans = [e for e in events if e["ph"] == "X"]
     assert {(s["pid"], s["name"]) for s in spans} == {(0, "x"), (1, "y")}
+
+
+def test_merged_trace_with_executor_worker_tracks(tmp_path):
+    """A merged trace holding executor runs keeps per-run pids and
+    per-worker tids distinct, with valid, loadable JSON."""
+    from repro.experiments.executor import Cell, Executor
+
+    def ok_cell(spec):
+        return {"name": spec["name"]}
+
+    sinks = []
+    for pid in range(2):
+        sink = TraceEventSink(pid=pid)
+        Executor(jobs=2, run_cell=ok_cell, trace=sink).run(
+            [Cell.make("test", "run%d-cell%d" % (pid, i), index=i) for i in range(4)]
+        )
+        sinks.append(sink)
+
+    merged = merged_trace(sinks, names=["run A", "run B"])
+    path = tmp_path / "merged.json"
+    with open(path, "w") as fh:
+        json.dump(merged, fh)
+    with open(path) as fh:
+        loaded = json.load(fh)  # valid JSON round-trip
+    events = loaded["traceEvents"]
+
+    process_meta = [
+        e for e in events if e["ph"] == "M" and e["name"] == "process_name"
+    ]
+    assert [(m["pid"], m["args"]["name"]) for m in process_meta] == [
+        (0, "run A"),
+        (1, "run B"),
+    ]
+    thread_meta = [
+        e for e in events if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    # (pid, tid) identifies a worker track uniquely across the merge
+    tracks = [(m["pid"], m["tid"]) for m in thread_meta]
+    assert len(tracks) == len(set(tracks))
+    assert all(m["args"]["name"].startswith("worker ") for m in thread_meta)
+
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(spans) == 8  # 4 cells per run, nothing dropped
+    for span in spans:
+        assert span["ts"] >= 0
+        assert span["dur"] >= 1
+        assert (span["pid"], span["tid"]) in tracks
+    # each run's spans stay on that run's pid
+    assert {s["pid"] for s in spans} == {0, 1}

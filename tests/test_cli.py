@@ -513,3 +513,234 @@ def test_sweep_command_parallel_matches_serial(capsys):
 def test_sweep_unknown_workload_exits_two(capsys):
     assert main(["sweep", "no-such-workload"]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+# -- observability: run ledger, explain, metrics-serve, bench-report ------
+
+
+def test_runs_empty_ledger_lists_nothing(capsys, tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_LEDGER", raising=False)
+    ledger = str(tmp_path / "runs.jsonl")
+    assert main(["runs", "--ledger", ledger]) == 0
+    assert "no runs recorded" in capsys.readouterr().out
+
+
+def test_simulate_records_to_ledger(capsys, tmp_path):
+    ledger = str(tmp_path / "runs.jsonl")
+    assert main(["simulate", "sc", "--scale", "tiny", "--ledger", ledger]) == 0
+    captured = capsys.readouterr()
+    assert "recorded run" in captured.err
+    records = [json.loads(line) for line in open(ledger)]
+    assert len(records) == 1
+    record = records[0]
+    assert record["kind"] == "simulate"
+    assert record["config"]["workload"] == "sc"
+    assert "source" in record["fingerprints"]
+    assert "trace" in record["fingerprints"]
+    assert record["stats"]["cycles"] > 0
+    assert "simulate" in record["phases"]
+
+    assert main(["runs", "--ledger", ledger]) == 0
+    out = capsys.readouterr().out
+    assert record["id"] in out
+    assert "workload=sc" in out
+
+
+def test_ledger_env_var_enables_recording(capsys, tmp_path, monkeypatch):
+    ledger = str(tmp_path / "env.jsonl")
+    monkeypatch.setenv("REPRO_LEDGER", ledger)
+    assert main(["simulate", "sc", "--scale", "tiny"]) == 0
+    capsys.readouterr()
+    assert len(open(ledger).readlines()) == 1
+
+
+def test_runs_show_and_unknown_id(capsys, tmp_path):
+    ledger = str(tmp_path / "runs.jsonl")
+    assert main(["simulate", "sc", "--scale", "tiny", "--ledger", ledger]) == 0
+    capsys.readouterr()
+    run_id = json.loads(open(ledger).readline())["id"]
+    assert main(["runs", "show", run_id[:6], "--ledger", ledger]) == 0
+    shown = json.loads(capsys.readouterr().out)
+    assert shown["id"] == run_id
+    assert main(["runs", "show", "ffffffffffff", "--ledger", ledger]) == 2
+    assert "no run matching" in capsys.readouterr().err
+
+
+def test_runs_diff_exit_codes(capsys, tmp_path):
+    ledger = str(tmp_path / "runs.jsonl")
+    base = ["simulate", "sc", "--scale", "tiny", "--ledger", ledger]
+    assert main(base) == 0
+    assert main(base) == 0
+    assert main(base[:-2] + ["--policy", "always", "--ledger", ledger]) == 0
+    capsys.readouterr()
+    ids = [json.loads(line)["id"] for line in open(ledger)]
+
+    # identical re-run: wall clock differs, content does not -> 0
+    assert main(["runs", "diff", ids[0], ids[1], "--ledger", ledger]) == 0
+    assert "identical" in capsys.readouterr().out
+
+    # different policy -> 1, and the diff names the changed field
+    assert main(["runs", "diff", ids[0], ids[2], "--ledger", ledger]) == 1
+    out = capsys.readouterr().out
+    assert "DIFFER" in out
+    assert "policy" in out
+
+    # usage errors -> 2
+    assert main(["runs", "diff", ids[0], "--ledger", ledger]) == 2
+    capsys.readouterr()
+    assert main(["runs", "diff", ids[0], "zzz", "--ledger", ledger]) == 2
+    capsys.readouterr()
+
+
+def test_runs_diff_json_payload(capsys, tmp_path):
+    ledger = str(tmp_path / "runs.jsonl")
+    base = ["simulate", "sc", "--scale", "tiny", "--ledger", ledger]
+    assert main(base) == 0
+    assert main(base[:-2] + ["--policy", "always", "--ledger", ledger]) == 0
+    capsys.readouterr()
+    ids = [json.loads(line)["id"] for line in open(ledger)]
+    assert main(["runs", "diff", ids[0], ids[1], "--ledger", ledger,
+                 "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["identical"] is False
+    assert payload["config"]["policy"] == {"a": "esync", "b": "always"}
+    assert "cycles" in payload["stats"]
+
+
+def test_explain_command(capsys):
+    assert main(["explain", "compress", "--scale", "tiny",
+                 "--policy", "always"]) == 0
+    out = capsys.readouterr().out
+    assert "squash(es)" in out
+    assert "store PC" in out
+    assert "must" in out
+
+
+def test_explain_json_output(capsys):
+    assert main(["explain", "compress", "--scale", "tiny", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["program"] == "compress"
+    assert payload["contradictions"] == 0
+    for pair in payload["pairs"]:
+        assert pair["verdict"] in ("must", "may", "no", "unseen")
+
+
+def test_explain_unknown_target_exits_two(capsys):
+    assert main(["explain", "no-such-workload"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_metrics_serve_once_prints_parseable_text(capsys, tmp_path):
+    snapshot = tmp_path / "metrics.json"
+    assert main(["simulate", "sc", "--scale", "tiny",
+                 "--metrics", str(snapshot)]) == 0
+    capsys.readouterr()
+    assert main(["metrics-serve", str(snapshot), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE" in out
+    from tests.telemetry.test_prometheus import parse_exposition
+
+    assert parse_exposition(out)
+
+
+def test_metrics_serve_missing_snapshot_exits_two(capsys, tmp_path):
+    assert main(["metrics-serve", str(tmp_path / "absent.json"), "--once"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def _write_bench_data(tmp_path, warm=3.5, cold=3.5):
+    history = tmp_path / "BENCH_history.jsonl"
+    results = tmp_path / "BENCH_results.json"
+    record = {
+        "test": "benchmarks/test_hotpath_speed.py::test_hotpath_speedups",
+        "seconds": 9.0,
+        "hotpath": {"warm_speedup": warm, "cold_speedup": cold},
+    }
+    payload = {"scale": "test", "results": [record]}
+    results.write_text(json.dumps(payload))
+    history.write_text(
+        json.dumps({"git_sha": "abc1234", "time": 1700000000.0,
+                    "scale": "test", "results": [record]}) + "\n"
+    )
+    return str(history), str(results)
+
+
+def test_bench_report_clean_exits_zero(capsys, tmp_path):
+    history, results = _write_bench_data(tmp_path, warm=3.5, cold=3.5)
+    assert main(["bench-report", "--history", history,
+                 "--results", results]) == 0
+    out = capsys.readouterr().out
+    assert "abc1234" in out
+    assert "no regression" in out
+
+
+def test_bench_report_flags_regression(capsys, tmp_path):
+    # warm 2.0x is far below baseline 3.47x / tolerance 1.25
+    history, results = _write_bench_data(tmp_path, warm=2.0, cold=3.5)
+    assert main(["bench-report", "--history", history,
+                 "--results", results]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.err
+    assert "warm" in captured.err
+
+
+def test_bench_report_json_output(capsys, tmp_path):
+    history, results = _write_bench_data(tmp_path, warm=2.0)
+    assert main(["bench-report", "--history", history,
+                 "--results", results, "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["regressions"][0]["leg"] == "warm"
+    assert payload["history"][0]["git_sha"] == "abc1234"
+
+
+def test_bench_report_no_data_exits_two(capsys, tmp_path):
+    assert main(["bench-report",
+                 "--history", str(tmp_path / "none.jsonl"),
+                 "--results", str(tmp_path / "none.json")]) == 2
+    assert "no benchmark data" in capsys.readouterr().err
+
+
+def test_sweep_watch_parity(capsys, tmp_path):
+    """--watch renders progress to stderr only: the stdout table and
+    exit code are byte-identical to a non-watch run."""
+    argv = ["sweep", "sc", "--policies", "always,esync",
+            "--override", "stages=4,8", "--scale", "tiny", "--jobs", "2"]
+    assert main(argv) == 0
+    plain = capsys.readouterr()
+    progress_json = tmp_path / "progress.jsonl"
+    assert main(argv + ["--watch", "--progress-json", str(progress_json)]) == 0
+    watched = capsys.readouterr()
+    assert watched.out == plain.out
+    # non-TTY stderr falls back to line mode: one line per event
+    assert "sweep: 4 cell(s)" in watched.err
+    assert "[4/4]" in watched.err
+    events = [json.loads(line) for line in progress_json.read_text().splitlines()]
+    assert [e["event"] for e in events] == ["start"] + ["cell"] * 4 + ["done"]
+    assert events[-1]["failed"] == 0
+
+
+def test_experiment_watch_routes_to_executor(capsys):
+    assert main(["experiment", "table2", "--scale", "tiny", "--watch"]) == 0
+    captured = capsys.readouterr()
+    assert "table2" in captured.out
+    assert "[1/1]" in captured.err
+
+
+def test_experiment_ledger_keeps_tables_golden(capsys, tmp_path):
+    """The A/B gate: recording a figure5 run to the ledger leaves the
+    emitted table bit-identical to the golden fixture."""
+    from pathlib import Path
+
+    golden = json.loads(
+        (Path(__file__).parent / "experiments" / "golden" / "figure5.json")
+        .read_text()
+    )
+    ledger = str(tmp_path / "runs.jsonl")
+    assert main(["experiment", "figure5", "--scale", "tiny", "--json",
+                 "--ledger", ledger]) == 0
+    (payload,) = json.loads(capsys.readouterr().out)
+    payload["profile"] = {}  # wall time is nondeterministic by design
+    assert payload == golden
+    record = json.loads(open(ledger).readline())
+    assert record["kind"] == "experiment"
+    assert "experiment:figure5" in record["fingerprints"]["cells"]
