@@ -1,0 +1,52 @@
+# A table-driven update loop: every task reads an index from a
+# read-only walk table, then increments the data word the index picks.
+# Adjacent tasks often pick the *same* word (the table repeats each
+# index twice), so a real cross-task store->load dependence recurs at
+# distance 1 — but the data address is computed from a loaded value,
+# which defeats the affine classifier: the pair is only MAY, so
+# `sync_static_primed` cannot pre-install it and pays the same
+# cold-start squash plain SYNC pays.
+#
+# This is exactly the gap Prophet-style slice warming closes: the
+# address-generation slice of the pair (walk-table load, shift, mask,
+# add — no loop-carried memory feedback) is cheap and executable, so
+# the `sync_slice_warmed` policy pre-executes it ahead of the
+# sequencer, observes the collision, and installs the pair into the
+# MDPT before the first consumer issues.
+#
+#   * the walk-table load at `lw t0, 0(s1)` can NEVER alias the data
+#     store: the masked data address is confined to 0x2000..0x201c
+#     while the table walks upward from 0x3000 -> the table rows stay
+#     read-only and the slice needs no memory closure.
+#   * the data load at `lw t3, 0(t2)` MAY alias the data store at
+#     `sw t3, 0(t2)` — same congruence range, data-dependent index —
+#     and dynamically DOES, at distance 1, whenever the table repeats.
+#
+# Run it with:  python examples/run_assembly.py examples/programs/table_walk.s
+# Analyze with: python -m repro pdg examples/programs/table_walk.s --slices
+
+.name table-walk
+
+# walk table: each index appears twice in a row -> distance-1 reuse
+.word 0x3000 0 0 1 1 2 2 3 3 4 4 5 5 6 6 7 7
+# data: eight counters
+.word 0x2000 0 0 0 0 0 0 0 0
+
+    li   s1, 0x3000        # table cursor
+    li   s2, 0x2000        # data base
+    li   s3, 0
+    li   s4, 16
+
+loop:
+    .task                  # one Multiscalar task per table row
+    lw   t0, 0(s1)         # index (read-only table -> NO-alias)
+    sll  t1, t0, 2
+    andi t1, t1, 28        # confine to the eight counters
+    add  t2, s2, t1
+    lw   t3, 0(t2)         # MAY-alias the store below; hits at d=1
+    addi t3, t3, 1
+    sw   t3, 0(t2)         # counter update
+    addi s1, s1, 4
+    addi s3, s3, 1
+    blt  s3, s4, loop
+    halt

@@ -19,6 +19,9 @@ Usage (also available as ``python -m repro``)::
     repro staticdep compress --symbolic      # MUST/MAY/NO alias verdicts
     repro lint examples/programs/histogram.s # speculation linter
     repro lint compress --symbolic           # + provable-dependence rules
+    repro pdg examples/programs/prefix_sum.s --slices  # dependence graph
+    repro pdg compress --dot pdg.dot         # Graphviz export
+    repro slice examples/programs/prefix_sum.s 6       # backward slice
     repro leakcheck examples/programs/leak_demo.s           # spec-leak check
     repro leakcheck histogram --secret-range 0x1000:0x103c  # ad-hoc secrets
     repro sweep sc --jobs 4 --watch          # live cells-done/ETA view
@@ -35,11 +38,12 @@ registry dump), ``--trace-events FILE`` (Chrome trace-event JSON,
 viewable at https://ui.perfetto.dev), and ``--ledger FILE`` (append one
 run-ledger record, also enabled by ``$REPRO_LEDGER``).
 
-The analysis commands (``staticdep``, ``lint``, ``leakcheck``,
-``explain``, ``runs diff``, ``bench-report``) share one exit-code
-contract: **0** — the command ran and found nothing wrong; **1** — it
-found problems (lint errors past the ``--fail-on`` threshold, a
-soundness violation against the oracle, leak-relevant findings, a
+The analysis commands (``staticdep``, ``lint``, ``pdg``, ``slice``,
+``leakcheck``, ``explain``, ``runs diff``, ``bench-report``) share one
+exit-code contract: **0** — the command ran and found nothing wrong;
+**1** — it found problems (lint errors past the ``--fail-on``
+threshold, a soundness violation against the oracle, an unaffordable
+predictor slice under ``pdg --strict``, leak-relevant findings, a
 squash on a statically-proven non-aliasing pair, two runs that differ,
 a benchmark regression past the baseline tolerance); **2** — usage
 error (unknown workload, unreadable file, unparsable target, unknown
@@ -270,6 +274,59 @@ def _build_parser() -> argparse.ArgumentParser:
         "'warn'/'note' are aliases for warning/info)",
     )
     p_lint.add_argument("--json", action="store_true", dest="as_json")
+
+    p_pdg = sub.add_parser(
+        "pdg",
+        help="program dependence graph, predictor slices, DOT export",
+        description="Build the whole-program dependence graph (register "
+        "def-use, control dependence, symbolic memory edges) and extract "
+        "the Prophet-style address-generation slice of every MAY/MUST "
+        "store->load pair. Exit codes: 0 graph built (all requested "
+        "outputs produced), 1 --strict and at least one pair has no "
+        "affordable predictor slice, 2 usage error.",
+    )
+    p_pdg.add_argument("target", help="workload name or assembly (.s) file")
+    p_pdg.add_argument("--scale", default="test")
+    p_pdg.add_argument(
+        "--slices", action="store_true",
+        help="list every MAY/MUST pair's predictor slice (cost, status, PCs)",
+    )
+    p_pdg.add_argument(
+        "--dot", metavar="FILE", default=None,
+        help="write the Graphviz rendering of the PDG to FILE ('-' for stdout)",
+    )
+    p_pdg.add_argument(
+        "--budget-length", type=int, default=None, metavar="N",
+        help="slice-affordability cap on instructions (default 64)",
+    )
+    p_pdg.add_argument(
+        "--budget-loads", type=int, default=None, metavar="N",
+        help="slice-affordability cap on loads touched (default 8)",
+    )
+    p_pdg.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any MAY/MUST pair's slice is unaffordable "
+        "(too expensive or loop-carried)",
+    )
+    p_pdg.add_argument("--json", action="store_true", dest="as_json")
+
+    p_slice = sub.add_parser(
+        "slice",
+        help="backward slice of one instruction over the PDG",
+        description="Extract the executable backward slice of the "
+        "instruction at PC (criterion: address, value, or full) and "
+        "print its cost and instruction listing. Exit codes: 0 slice "
+        "extracted, 2 usage error (bad PC, unreadable target).",
+    )
+    p_slice.add_argument("target", help="workload name or assembly (.s) file")
+    p_slice.add_argument("pc", type=int, help="PC of the criterion instruction")
+    p_slice.add_argument(
+        "--criterion", default="address", choices=("address", "value", "full"),
+        help="which facet of the instruction the slice must reproduce "
+        "(default: address)",
+    )
+    p_slice.add_argument("--scale", default="test")
+    p_slice.add_argument("--json", action="store_true", dest="as_json")
 
     p_leak = sub.add_parser(
         "leakcheck",
@@ -1136,6 +1193,103 @@ def _parse_secret_ranges(specs):
     return ranges
 
 
+def cmd_pdg(args) -> int:
+    from repro.staticdep.pdg import SliceBudget, pdg_report
+
+    budget = SliceBudget()
+    if args.budget_length is not None or args.budget_loads is not None:
+        budget = SliceBudget(
+            max_length=args.budget_length
+            if args.budget_length is not None
+            else budget.max_length,
+            max_loads=args.budget_loads
+            if args.budget_loads is not None
+            else budget.max_loads,
+        )
+    try:
+        program = _load_program(args.target, args.scale)
+        report = pdg_report(program, budget=budget)
+        dot = None
+        if args.dot is not None:
+            from repro.staticdep.pdg import build_pdg
+
+            dot = build_pdg(program).to_dot()
+    except Exception as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.dot is not None:
+        if args.dot == "-":
+            sys.stdout.write(dot)
+        else:
+            with open(args.dot, "w") as handle:
+                handle.write(dot)
+            print("wrote %s" % args.dot, file=sys.stderr)
+    if args.as_json:
+        print(json.dumps(report, indent=2))
+    elif args.dot != "-":
+        summary = report["summary"]
+        print("pdg: %s" % report["program"])
+        for key in (
+            "nodes",
+            "register_edges",
+            "control_edges",
+            "memory_edges",
+            "predictor_slices",
+        ):
+            print("  %-18s %s" % (key, summary[key]))
+        print("  %-18s %s" % ("memory verdicts", summary["memory_edges_by_verdict"]))
+        print("  %-18s %s" % ("slice statuses", summary["slices_by_status"]))
+        if args.slices:
+            for entry in report["slices"]:
+                print(
+                    "  pair (store %d, load %d) %s d=%s %s: "
+                    "%d instr, %d load(s), pcs %s"
+                    % (
+                        entry["store_pc"],
+                        entry["load_pc"],
+                        entry["verdict"],
+                        entry["static_distance"],
+                        entry["status"],
+                        entry["cost"]["length"],
+                        entry["cost"]["loads"],
+                        entry["pcs"],
+                    )
+                )
+    if args.strict and any(s["status"] != "warmable" for s in report["slices"]):
+        return 1
+    return 0
+
+
+def cmd_slice(args) -> int:
+    from repro.staticdep.pdg import slice_report
+
+    try:
+        program = _load_program(args.target, args.scale)
+        report = slice_report(program, args.pc, args.criterion)
+    except Exception as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            "slice of pc %d (%s) in %s: %d instruction(s), %d load(s), "
+            "ratio %.2f%s"
+            % (
+                report["criterion_pc"],
+                report["criterion"],
+                report["program"],
+                report["cost"]["length"],
+                report["cost"]["loads"],
+                report["cost"]["ratio"],
+                ", loop-carried" if report["loop_carried"] else "",
+            )
+        )
+        for line in report["instructions"]:
+            print("  %s" % line)
+    return 0
+
+
 def cmd_leakcheck(args) -> int:
     from repro.multiscalar.sanitizer import check_program_leaks
 
@@ -1600,6 +1754,8 @@ def main(argv=None) -> int:
         "profile": cmd_profile,
         "staticdep": cmd_staticdep,
         "lint": cmd_lint,
+        "pdg": cmd_pdg,
+        "slice": cmd_slice,
         "leakcheck": cmd_leakcheck,
         "runs": cmd_runs,
         "explain": cmd_explain,

@@ -150,6 +150,14 @@ class MDPT:
         """Exact-pair lookup without LRU side effects (for inspection)."""
         return self._by_pair.get((store_pc, load_pc))
 
+    def has_entry_for_load(self, load_pc) -> bool:
+        """True when any valid entry guards *load_pc* (no LRU side
+        effects) — the one-producer-per-load guard consulted before a
+        static or slice-warmed install: a load holding entries against
+        several conditional producers waits on stores that may never
+        execute, which costs far more than the cold start it saves."""
+        return bool(self._by_load.get(load_pc))
+
     def predict(self, entry, candidate_task_pc=None) -> bool:
         """Evaluate the predictor for one entry."""
         return self.predictor.predict(entry.state, candidate_task_pc)

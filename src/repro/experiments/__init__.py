@@ -7,6 +7,7 @@ from repro.experiments.figures import (
     figure7_spec95_speedups,
 )
 from repro.experiments.results import ExperimentTable
+from repro.experiments.slicewarm import slice_warming
 from repro.experiments.spectaint import spectaint_leakage
 from repro.experiments.staticdep import staticdep_coverage, staticdep_symbolic
 from repro.telemetry import PROFILER
@@ -79,6 +80,7 @@ ALL_EXPERIMENTS = {
         "staticdep": staticdep_coverage,
         "staticdep-symbolic": staticdep_symbolic,
         "spectaint": spectaint_leakage,
+        "slice-warming": slice_warming,
     }.items()
 }
 
@@ -165,6 +167,7 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "extension_window_scaling",
+    "slice_warming",
     "spectaint_leakage",
     "staticdep_coverage",
     "staticdep_symbolic",

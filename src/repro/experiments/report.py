@@ -133,6 +133,19 @@ PAPER_CLAIMS = {
         "and sync_static_primed closes every GATED pair — zero "
         "transient secret reads where the naive policy leaks.",
     ),
+    "slice-warming": (
+        "(extension — not in the paper)  Moshovos' later Prophet line "
+        "of work pre-executes address-generation slices to resolve "
+        "dependences ahead of the window; the paper's own MDPT learns "
+        "each pair only after paying one cold-start squash.",
+        "Backward address slices extracted from the program dependence "
+        "graph are pre-executed under a per-task instruction budget: "
+        "sync_slice_warmed never squashes more than learned SYNC on any "
+        "workload/stage cell (asserted by the runner), and on the "
+        "MAY-dominant table-walk leg — where MUST-only static priming "
+        "is provably blind — it removes the cold-start squashes that "
+        "both SYNC and PRIMED pay.",
+    ),
     "figure7": (
         "Appreciable gains for most SPECint95 programs (5-40%); ESYNC "
         "close to ideal for m88ksim/compress/li; swim, mgrid and turb3d "

@@ -503,6 +503,7 @@ class StaticPrimedSyncPolicy(MechanismPolicy):
     def __init__(self, predictor="sync", **kwargs):
         super().__init__(predictor=predictor, **kwargs)
         self.primed_pairs = 0
+        self.analysis = None
 
     @property
     def name(self):
@@ -512,10 +513,12 @@ class StaticPrimedSyncPolicy(MechanismPolicy):
         from repro.staticdep.analysis import analyze_program_symbolic
 
         super().bind(sim)
+        self.analysis = None
         program = getattr(sim.trace, "program", None)
         if program is None:
             return  # facade sims without a program: run unprimed
         analysis = analyze_program_symbolic(program)
+        self.analysis = analysis
         horizon = sim.config.stages
         maximum = getattr(self.engine.mdpt.predictor, "maximum", None)
         for store_pc, load_pc, distance in analysis.primable():
@@ -533,6 +536,182 @@ class StaticPrimedSyncPolicy(MechanismPolicy):
     def publish_telemetry(self, telemetry):
         super().publish_telemetry(telemetry)
         telemetry.metrics.gauge("mdpt.primed").set(self.primed_pairs)
+
+
+class SliceWarmedSyncPolicy(StaticPrimedSyncPolicy):
+    """PRIMED extended with Prophet-style pre-computation slices.
+
+    Static priming removes cold-start squashes only for pairs the
+    symbolic analysis *proves* MUST-alias.  This policy generalizes
+    "provable at compile time" to "resolvable at runtime ahead of
+    need": for every remaining MAY/MUST pair whose address-generation
+    slice is affordable (:func:`repro.staticdep.pdg.extract_predictor_slices`),
+    a bounded pre-executor (:class:`repro.frontend.slice_executor.SliceExecutor`)
+    replays the union of those slices ahead of the main sequencer.
+    Each task dispatch grants it ``slice_budget_per_task`` slice
+    instructions; whenever the pre-executed store and load addresses
+    collide across tasks within the window horizon, the pair is
+    installed into the MDPT with a saturated counter — before the
+    first real consumer issues, so even unprovable recurring
+    dependences synchronize from their first dynamic encounter.
+
+    At most one producer is ever installed per load (the first the
+    pre-execution resolves): a load guarded by entries against several
+    conditional producers stalls on stores that may never execute in
+    its task, which costs far more than the one cold-start squash a
+    second entry could save.
+
+    A slice fault (the pre-executed path trips a runtime error) or
+    budget exhaustion simply stops the warming: the policy degrades to
+    PRIMED, never corrupting architectural state — the pre-executor
+    owns a private register file and memory image.
+    """
+
+    def __init__(
+        self,
+        predictor="sync",
+        slice_budget_per_task=32,
+        slice_max_length=64,
+        slice_max_loads=8,
+        **kwargs,
+    ):
+        super().__init__(predictor=predictor, **kwargs)
+        self.slice_budget_per_task = slice_budget_per_task
+        self.slice_max_length = slice_max_length
+        self.slice_max_loads = slice_max_loads
+        self.warmable_pairs = 0
+        self.installed_pairs = 0
+        self.slice_instructions = 0
+        self._runner = None
+        self._consumers = {}
+        self._unresolved = set()
+        self._store_events = {}
+        self._horizon = 0
+        self._maximum = None
+
+    @property
+    def name(self):
+        return "SLICEWARM"
+
+    def bind(self, sim):
+        from repro.frontend.slice_executor import SliceExecutor
+        from repro.staticdep.pdg import (
+            WARMABLE,
+            SliceBudget,
+            build_pdg,
+            extract_predictor_slices,
+        )
+
+        super().bind(sim)
+        self.warmable_pairs = 0
+        self.installed_pairs = 0
+        self.slice_instructions = 0
+        self._runner = None
+        self._consumers = {}
+        self._unresolved = set()
+        self._store_events = {}
+        program = getattr(sim.trace, "program", None)
+        if program is None or self.analysis is None:
+            return  # facade sims without a program: run as plain PRIMED
+        pdg = build_pdg(program, analysis=self.analysis)
+        budget = SliceBudget(
+            max_length=self.slice_max_length, max_loads=self.slice_max_loads
+        )
+        mdpt = self.engine.mdpt
+        slices = [
+            s
+            for s in extract_predictor_slices(pdg, budget)
+            if s.status == WARMABLE and not mdpt.has_entry_for_load(s.load_pc)
+        ]
+        self.warmable_pairs = len(slices)
+        if not slices:
+            return
+        union = set()
+        watch = set()
+        for s in slices:
+            union |= s.pcs
+            watch.add(s.store_pc)
+            watch.add(s.load_pc)
+            self._unresolved.add(s.pair)
+            self._consumers.setdefault(s.load_pc, []).append(s.store_pc)
+        self._horizon = sim.config.stages
+        self._maximum = getattr(mdpt.predictor, "maximum", None)
+        self._runner = SliceExecutor(program, union, watch_pcs=watch)
+        # Prophet launches its slices ahead of the sequencer: give the
+        # pre-executor one window's worth of head start at spawn time.
+        self._advance(self.slice_budget_per_task * self._horizon)
+
+    def _advance(self, budget):
+        """Run the pre-executor for *budget* slice instructions and
+        resolve store->load collisions into MDPT installs."""
+        from repro.frontend.interpreter import InterpreterError
+
+        runner = self._runner
+        if runner is None:
+            return
+        try:
+            events = runner.run(budget)
+        except InterpreterError:
+            # The sliced path faulted (the program would fault too, or
+            # the walk limit tripped): stop warming, keep what we have.
+            self._runner = None
+            return
+        delta = runner.executed - self.slice_instructions
+        self.slice_instructions = runner.executed
+        if self._telemetry.enabled and delta:
+            self._telemetry.metrics.counter("slice.pre_exec_instructions").inc(delta)
+        mdpt = self.engine.mdpt
+        for ev in events:
+            consumers = self._consumers.get(ev.pc)
+            if consumers is None:
+                # store-side watch: remember (task, addr), pruned to the
+                # window horizon — older producers cannot synchronize.
+                history = self._store_events.setdefault(ev.pc, [])
+                history.append((ev.task_id, ev.addr))
+                while history and history[0][0] < ev.task_id - self._horizon:
+                    history.pop(0)
+                continue
+            for store_pc in consumers:
+                if (store_pc, ev.pc) not in self._unresolved:
+                    continue
+                if mdpt.has_entry_for_load(ev.pc):
+                    # One producer per load: a second entry (learned,
+                    # primed, or warmed meanwhile) would make the load
+                    # also wait on a store that may never execute in
+                    # its task — far costlier than one cold start.
+                    self._unresolved.discard((store_pc, ev.pc))
+                    continue
+                for store_task, store_addr in reversed(
+                    self._store_events.get(store_pc, ())
+                ):
+                    if store_addr != ev.addr or store_task >= ev.task_id:
+                        continue
+                    distance = ev.task_id - store_task
+                    if distance < self._horizon:
+                        entry = mdpt.install(store_pc, ev.pc, distance)
+                        if self._maximum is not None and hasattr(
+                            entry.state, "value"
+                        ):
+                            entry.state.value = self._maximum
+                        self.installed_pairs += 1
+                        # retire every sibling candidate of this load
+                        for sibling in consumers:
+                            self._unresolved.discard((sibling, ev.pc))
+                    break
+        if not self._unresolved:
+            self._runner = None  # every pair resolved: stop pre-executing
+
+    def on_task_dispatched(self, task_id, now):
+        super().on_task_dispatched(task_id, now)
+        if self._runner is not None:
+            self._advance(self.slice_budget_per_task)
+
+    def publish_telemetry(self, telemetry):
+        super().publish_telemetry(telemetry)
+        metrics = telemetry.metrics
+        metrics.gauge("slice.warmable_pairs").set(self.warmable_pairs)
+        metrics.gauge("slice.installed_pairs").set(self.installed_pairs)
+        metrics.gauge("slice.instructions").set(self.slice_instructions)
 
 
 class ValueSyncPolicy(MechanismPolicy):
@@ -724,6 +903,7 @@ POLICY_FACTORIES = {
     "sync": lambda **kw: MechanismPolicy(predictor="sync", **kw),
     "esync": lambda **kw: MechanismPolicy(predictor="esync", **kw),
     "sync_static_primed": StaticPrimedSyncPolicy,
+    "sync_slice_warmed": SliceWarmedSyncPolicy,
     "vsync": ValueSyncPolicy,
     "storeset": StoreSetPolicy,
 }
@@ -750,7 +930,9 @@ def make_policy(name, **kwargs) -> SpeculationPolicy:
     Accepted names: everything in :func:`available_policies` — "never",
     "always", "wait", "psync", the mechanism predictors "sync" and
     "esync", "sync_static_primed" (SYNC with the MDPT seeded from
-    static MUST-alias proofs), "vsync" (the Section 6 hybrid:
+    static MUST-alias proofs), "sync_slice_warmed" (PRIMED plus
+    Prophet-style pre-executed address slices that install MAY pairs
+    resolved ahead of need), "vsync" (the Section 6 hybrid:
     value-predict dependence-likely loads), "storeset" — plus the alias
     "always-sync" (MDPT/MDST with the always-synchronize predictor).
     """

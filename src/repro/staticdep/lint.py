@@ -139,13 +139,23 @@ class Diagnostic:
 
 
 def sort_diagnostics(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
-    """Order findings by severity, then location."""
+    """Order findings deterministically by location, then rule.
+
+    The key is (line, pc, severity, rule id, message): location first —
+    the reading order of the source file — with program-wide findings
+    (no line, no pc) last.  Sorting on the full tuple makes ``--json``
+    output and the golden lint fixtures independent of rule evaluation
+    order and dict iteration order.
+    """
+    big = 1 << 30
     return sorted(
         diagnostics,
         key=lambda d: (
+            d.line if d.line is not None else big,
+            d.pc if d.pc is not None else big,
             _SEVERITY_ORDER.get(d.severity, 9),
-            d.pc if d.pc is not None else -1,
             d.rule_id,
+            d.message,
         ),
     )
 
@@ -390,6 +400,95 @@ def _rule_secret_range_invalid(analysis: StaticDependenceAnalysis) -> List[Diagn
     return out
 
 
+def _pdg_rules(analysis: SymbolicDependenceAnalysis) -> List[Diagnostic]:
+    """Rules over the program dependence graph and its predictor
+    slices (:mod:`repro.staticdep.pdg`): dependences whose
+    synchronization machinery is provably wasted, and MAY/MUST pairs
+    the slice-warmed policy cannot pre-resolve."""
+    from repro.staticdep.pdg import (
+        LOOP_CARRIED_CUTOFF,
+        REG_EDGE,
+        TOO_EXPENSIVE,
+        build_pdg,
+        extract_predictor_slices,
+    )
+    from repro.staticdep.symbolic import NO
+
+    out = []
+    pdg = build_pdg(analysis.program, analysis=analysis)
+
+    # redundant-sync-no-memory-edge: the reaching lattice proposed the
+    # pair(s), the classifier proved the addresses never collide — any
+    # MDPT entry or synchronization for them is pure overhead.
+    no_by_load: Dict[int, List[int]] = {}
+    for pair in analysis.no_pairs():
+        no_by_load.setdefault(pair.load_pc, []).append(pair.store_pc)
+    for load_pc in sorted(no_by_load):
+        stores = sorted(no_by_load[load_pc])
+        out.append(
+            Diagnostic(
+                INFO,
+                "redundant-sync-no-memory-edge",
+                load_pc,
+                "load at pc %d carries no memory edge on the PDG to its "
+                "%d candidate store(s) (pc %s) — all proven NO-alias; "
+                "synchronizing them would be pure overhead"
+                % (load_pc, len(stores), ", ".join(str(s) for s in stores)),
+            )
+        )
+
+    # dead-store-no-consumer: the store does reach loads, but no
+    # consuming load's value flows anywhere on the PDG — the dependence
+    # edge protects a value nobody reads.
+    for store_pc in sorted({e.src for e in pdg.memory_edges if e.label != NO}):
+        consumers = [
+            e.dst for e in pdg.memory_edges_for_store(store_pc) if e.label != NO
+        ]
+        if consumers and all(
+            not any(s.kind == REG_EDGE for s in pdg.successors(load_pc))
+            for load_pc in consumers
+        ):
+            out.append(
+                Diagnostic(
+                    INFO,
+                    "dead-store-no-consumer",
+                    store_pc,
+                    "store at pc %d reaches only loads whose values are "
+                    "never used (no outgoing register edge); its "
+                    "dependence edges protect dead values" % store_pc,
+                )
+            )
+
+    # Predictor-slice affordability: pairs the sync_slice_warmed
+    # policy must leave to dynamic learning, and why.
+    for sl in extract_predictor_slices(pdg):
+        if sl.status == TOO_EXPENSIVE:
+            out.append(
+                Diagnostic(
+                    WARNING,
+                    "slice-too-expensive",
+                    sl.load_pc,
+                    "address slice of pair (store pc %d, load pc %d) costs "
+                    "%d instructions / %d loads, over the warming budget; "
+                    "the pair falls back to dynamic learning"
+                    % (sl.store_pc, sl.load_pc, sl.cost.length, sl.cost.loads),
+                )
+            )
+        elif sl.status == LOOP_CARRIED_CUTOFF:
+            out.append(
+                Diagnostic(
+                    WARNING,
+                    "unsliceable-pair-loop-carried-cutoff",
+                    sl.load_pc,
+                    "address slice of pair (store pc %d, load pc %d) "
+                    "depends on a loop-carried memory edge; pre-execution "
+                    "cannot run ahead of the iteration feeding it"
+                    % (sl.store_pc, sl.load_pc),
+                )
+            )
+    return out
+
+
 def _spec_leak_rules(
     program: Program, symbolic: SymbolicDependenceAnalysis
 ) -> List[Diagnostic]:
@@ -506,9 +605,13 @@ RULE_REGISTRY = (
     ("must-alias-pair", WARNING, "a cross-task pair provably aliases"),
     ("dist-over-mdst", WARNING, "a proven distance exceeds the MDST capacity"),
     ("spec-leak-gated", WARNING, "a transient-secret pair closed only by priming"),
+    ("slice-too-expensive", WARNING, "a pair's address slice is over the warming budget"),
+    ("unsliceable-pair-loop-carried-cutoff", WARNING, "a pair's address slice needs a loop-carried memory edge"),
     ("secret-dependent-address", WARNING, "an address is provably secret-derived"),
     ("secret-dependent-branch", WARNING, "a branch is provably secret-derived"),
     ("no-task-marker", INFO, "the program defines no tasks"),
+    ("redundant-sync-no-memory-edge", INFO, "a candidate pair carries no PDG memory edge"),
+    ("dead-store-no-consumer", INFO, "a store's consuming loads have unused values"),
     ("secret-range-untouched", INFO, "a .secret range no access can reach"),
 )
 
@@ -541,6 +644,7 @@ def lint_program(
         diagnostics.extend(_rule_must_alias_pairs(analysis))
         if mdst_capacity is not None:
             diagnostics.extend(_rule_distance_over_mdst(analysis, mdst_capacity))
+        diagnostics.extend(_pdg_rules(analysis))
         diagnostics.extend(_spec_leak_rules(program, analysis))
     if mdpt_capacity is not None or mdst_capacity is not None:
         diagnostics.extend(

@@ -2,15 +2,17 @@
 
 These are the strongest checks in the suite: for arbitrary generated
 programs, every policy must preserve architectural work, PSYNC must
-never mis-speculate, the mechanism must never exceed blind
-speculation's mis-speculations, and the timing model must be
-deterministic.
+never mis-speculate, the mechanism must pay at most one cold-start
+squash per static pair beyond blind speculation, and the timing model
+must be deterministic.
 """
 
 from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.multiscalar import MultiscalarConfig, simulate, make_policy
+from repro.multiscalar.explain import SquashLedger
+from repro.multiscalar.processor import MultiscalarSimulator
 from repro.workloads import RandomProgramConfig, generate_trace
 
 small_configs = st.builds(
@@ -54,11 +56,41 @@ def test_non_speculative_policies_never_mis_speculate(config, stages):
 
 @settings(max_examples=20, deadline=None)
 @given(small_configs, stage_counts)
-def test_mechanism_never_worse_than_blind_in_mis_speculations(config, stages):
+@example(
+    # one store PC feeding three load PCs: SYNC pays three cold starts
+    # while ALWAYS's timing happens to expose only one of the pairs, so
+    # an aggregate sync <= always + 1 bound is falsified here
+    RandomProgramConfig(
+        tasks=14,
+        body_ops=2,
+        loads_per_task=3,
+        stores_per_task=1,
+        shared_words=1,
+        branch_probability=0.5,
+        seed=5962,
+    ),
+    4,
+)
+def test_mechanism_pays_at_most_one_cold_start_per_pair(config, stages):
+    # The totals are not comparable: synchronizing one pair re-paces
+    # the pipeline, which can surface squashes on static pairs blind
+    # speculation dodges by timing luck.  The paper's invariant is per
+    # static (store PC, load PC) pair — the MDPT learns it by paying
+    # exactly one cold-start mis-speculation.
     trace = generate_trace(config)
-    always = run(trace, stages, "always")
-    sync = run(trace, stages, "sync")
-    assert sync.mis_speculations <= always.mis_speculations + 1
+    counts = {}
+    for policy_name in ("always", "sync"):
+        ledger = SquashLedger()
+        sim = MultiscalarSimulator(
+            trace,
+            MultiscalarConfig(stages=stages),
+            make_policy(policy_name),
+            squash_ledger=ledger,
+        )
+        sim.run()
+        counts[policy_name] = ledger.pair_counts()
+    for pair, squashes in counts["sync"].items():
+        assert squashes <= counts["always"].get(pair, 0) + 1, pair
 
 
 @settings(max_examples=20, deadline=None)

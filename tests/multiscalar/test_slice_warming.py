@@ -1,0 +1,196 @@
+"""Tests for the slice-warmed SYNC policy (`sync_slice_warmed`).
+
+The policy extends static priming with Prophet-style pre-computation:
+for every MAY/MUST pair whose address-generation slice is affordable
+and loop-carried-free, a budgeted slice pre-executor runs ahead of the
+sequencer and installs the pair into the MDPT the moment its addresses
+are seen to collide — before the first consumer load issues.  The
+worked adversarial example is ``examples/programs/table_walk.s``, whose
+recurring dependence is data-indexed (MAY, not MUST): priming cannot
+touch it, warming resolves it.
+"""
+
+import pytest
+
+from repro.frontend import run_program
+from repro.isa.parser import parse_file
+from repro.multiscalar import MultiscalarConfig, make_policy
+from repro.multiscalar.policies import (
+    SliceWarmedSyncPolicy,
+    StaticPrimedSyncPolicy,
+)
+from repro.multiscalar.processor import simulate
+from repro.workloads import get_workload, suite
+
+TABLE_WALK = "examples/programs/table_walk.s"
+#: table_walk's MAY pair: the counter update store and read-back load.
+PAIR = (10, 8)
+
+
+def _table_walk_trace():
+    return run_program(parse_file(TABLE_WALK))
+
+
+def _run_trace(trace, policy_name, stages=4):
+    policy = make_policy(policy_name)
+    stats = simulate(trace, MultiscalarConfig(stages=stages), policy)
+    return stats, policy
+
+
+def _run(name, policy_name, scale="test", stages=4):
+    return _run_trace(get_workload(name).trace(scale), policy_name, stages)
+
+
+def _cold_starts(policy):
+    mdpt = policy.engine.mdpt
+    return mdpt.allocations - mdpt.primed
+
+
+def test_factory_builds_warmed_policy():
+    policy = make_policy("sync_slice_warmed")
+    assert isinstance(policy, SliceWarmedSyncPolicy)
+    assert isinstance(policy, StaticPrimedSyncPolicy)  # priming included
+    assert policy.name == "SLICEWARM"
+
+
+def test_warming_resolves_may_pair_before_first_consumer():
+    trace = _table_walk_trace()
+    sync, _ = _run_trace(trace, "sync")
+    primed, primed_policy = _run_trace(trace, "sync_static_primed")
+    warmed, warmed_policy = _run_trace(trace, "sync_slice_warmed")
+    # the pair is MAY: static priming is blind to it and pays the same
+    # cold-start squash plain SYNC pays
+    assert primed_policy.primed_pairs == 0
+    assert primed.mis_speculations == sync.mis_speculations == 1
+    # the slice pre-executor observes the distance-1 collision and
+    # installs the pair ahead of need: no squash at all
+    assert warmed.mis_speculations == 0
+    assert warmed_policy.warmable_pairs == 1
+    assert warmed_policy.installed_pairs == 1
+    assert _cold_starts(warmed_policy) == 0
+    assert _cold_starts(primed_policy) == 1
+
+
+def test_warmed_install_is_a_real_mdpt_entry():
+    _, policy = _run_trace(_table_walk_trace(), "sync_slice_warmed")
+    entry = policy.engine.mdpt.get(*PAIR)
+    assert entry is not None
+    assert entry.distance == 1
+    # installed saturated, like a primed entry: the first instance has
+    # no partner store in flight and must survive the force-release
+    predictor = policy.engine.mdpt.predictor
+    assert predictor.predict(entry.state)
+
+
+def test_warming_skips_pairs_already_primed():
+    # the recurrence's only non-NO pair is proven MUST: priming
+    # installs it first, so the warmer has nothing left to do
+    _, policy = _run("micro-recurrence-d1", "sync_slice_warmed")
+    assert policy.primed_pairs == 1
+    assert policy.warmable_pairs == 0
+    assert policy.installed_pairs == 0
+    assert policy.slice_instructions == 0
+
+
+@pytest.mark.parametrize(
+    "name",
+    [w.name for w in suite("micro")] + ["compress", "espresso"],
+)
+def test_warming_never_adds_mis_speculations(name):
+    sync, _ = _run(name, "sync")
+    warmed, _ = _run(name, "sync_slice_warmed")
+    assert warmed.mis_speculations <= sync.mis_speculations
+
+
+@pytest.mark.parametrize("name", ["compress", "espresso", "xlisp"])
+def test_warming_never_worse_than_priming(name):
+    primed, _ = _run(name, "sync_static_primed")
+    warmed, _ = _run(name, "sync_slice_warmed")
+    assert warmed.mis_speculations <= primed.mis_speculations
+
+
+class _CountingPolicy(SliceWarmedSyncPolicy):
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.dispatches = 0
+
+    def on_task_dispatched(self, task_id, now):
+        self.dispatches += 1
+        super().on_task_dispatched(task_id, now)
+
+
+@pytest.mark.parametrize("budget", [1, 8, 32])
+def test_pre_execution_stays_within_budget(budget):
+    # grants: one head start of budget * stages, then one budget per
+    # task dispatch — executed slice instructions can never exceed them
+    stages = 4
+    policy = _CountingPolicy(slice_budget_per_task=budget)
+    simulate(
+        _table_walk_trace(), MultiscalarConfig(stages=stages), policy
+    )
+    granted = budget * (stages + policy.dispatches)
+    assert 0 < policy.slice_instructions <= granted
+
+
+def test_budget_is_metered_by_telemetry_counter():
+    from repro.multiscalar import MultiscalarSimulator
+    from repro.telemetry import make_telemetry
+
+    telemetry = make_telemetry()
+    policy = make_policy("sync_slice_warmed")
+    sim = MultiscalarSimulator(
+        _table_walk_trace(),
+        MultiscalarConfig(stages=4),
+        policy,
+        telemetry=telemetry,
+    )
+    sim.run()
+    payload = telemetry.metrics.to_dict()
+    counters = payload.get("counters", payload)
+    metered = [
+        value
+        for key, value in counters.items()
+        if "slice.pre_exec_instructions" in str(key)
+    ]
+    assert metered and metered[0] == policy.slice_instructions
+    gauges = payload.get("gauges", payload)
+    for name in (
+        "slice.warmable_pairs",
+        "slice.installed_pairs",
+        "slice.instructions",
+    ):
+        assert any(name in str(key) for key in gauges)
+
+
+def test_telemetry_does_not_change_decisions():
+    # A/B: stats with telemetry attached must be bit-identical to the
+    # bare run — observability must not perturb the policy
+    from repro.multiscalar import MultiscalarSimulator
+    from repro.telemetry import make_telemetry
+
+    trace = _table_walk_trace()
+    bare = simulate(
+        trace, MultiscalarConfig(stages=4), make_policy("sync_slice_warmed")
+    )
+    observed = MultiscalarSimulator(
+        trace,
+        MultiscalarConfig(stages=4),
+        make_policy("sync_slice_warmed"),
+        telemetry=make_telemetry(),
+    ).run()
+    assert (bare.cycles, bare.mis_speculations) == (
+        observed.cycles,
+        observed.mis_speculations,
+    )
+
+
+def test_traceless_program_guard_degrades_to_plain_sync():
+    # traces built by hand (tests, facades) may carry no program: the
+    # policy must degrade to unprimed, unwarmed SYNC instead of crashing
+    trace = _table_walk_trace()
+    trace.program = None
+    stats, policy = _run_trace(trace, "sync_slice_warmed")
+    assert policy.warmable_pairs == 0
+    assert policy.installed_pairs == 0
+    sync, _ = _run_trace(trace, "sync")
+    assert stats.mis_speculations == sync.mis_speculations

@@ -18,6 +18,7 @@ from repro.staticdep import (
 
 HISTOGRAM = "examples/programs/histogram.s"
 LINT_DEMO = "examples/programs/lint_demo.s"
+PREFIX_SUM = "examples/programs/prefix_sum.s"
 
 
 def rules_of(diagnostics):
@@ -226,12 +227,39 @@ def test_lint_demo_reports_three_distinct_rules_with_errors():
     assert {"misaligned-offset", "negative-address", "dead-store"} <= rules_of(diags)
 
 
-def test_diagnostics_sorted_errors_first():
-    diags = lint_path(LINT_DEMO)
-    severities = [d.severity for d in diags]
-    assert severities == sorted(
-        severities, key=lambda s: {"error": 0, "warning": 1, "info": 2}[s]
-    )
+def test_diagnostics_sorted_by_location_then_rule():
+    # deterministic reading order: (line, pc, severity, rule id, message),
+    # program-wide findings (no line, no pc) last — so reruns, --json
+    # output, and golden fixtures never depend on rule evaluation order
+    big = 1 << 30
+    severity_rank = {"error": 0, "warning": 1, "info": 2}
+    for path in (LINT_DEMO, HISTOGRAM, PREFIX_SUM):
+        diags = lint_path(path, symbolic=True)
+        keys = [
+            (
+                d.line if d.line is not None else big,
+                d.pc if d.pc is not None else big,
+                severity_rank[d.severity],
+                d.rule_id,
+                d.message,
+            )
+            for d in diags
+        ]
+        assert keys == sorted(keys), path
+
+
+def test_sort_diagnostics_is_deterministic_under_shuffle():
+    import random
+
+    from repro.staticdep.lint import sort_diagnostics
+
+    diags = lint_path(LINT_DEMO, symbolic=True)
+    reference = sort_diagnostics(diags)
+    rng = random.Random(5)
+    for _ in range(5):
+        shuffled = list(diags)
+        rng.shuffle(shuffled)
+        assert sort_diagnostics(shuffled) == reference
 
 
 def test_diagnostic_str_and_dict():
@@ -352,3 +380,90 @@ def test_spec_leak_rules_on_demo_file():
         "secret-dependent-address",
         "secret-dependent-branch",
     }
+
+
+# -- PDG / predictor-slice rules --------------------------------------------
+
+
+def test_redundant_sync_no_memory_edge_on_prefix_sum():
+    # the sample load's only candidate store is proven NO-alias
+    # (disjoint congruence classes), so synchronizing it is overhead
+    diags = lint_path(PREFIX_SUM, symbolic=True)
+    hits = [d for d in diags if d.rule_id == "redundant-sync-no-memory-edge"]
+    assert len(hits) == 1
+    assert hits[0].pc == 3
+    assert hits[0].severity == "info"
+    # symbolic-mode only: the lattice alone proves nothing
+    assert "redundant-sync-no-memory-edge" not in rules_of(lint_path(PREFIX_SUM))
+
+
+def test_unsliceable_pair_loop_carried_cutoff_on_histogram():
+    # histogram's bucket address is computed from a loaded value whose
+    # load MAY-alias the bucket store: warming cannot run ahead
+    diags = lint_path(HISTOGRAM, symbolic=True)
+    hits = [
+        d for d in diags if d.rule_id == "unsliceable-pair-loop-carried-cutoff"
+    ]
+    assert hits and all(d.severity == "warning" for d in hits)
+
+
+def test_dead_store_no_consumer():
+    a = Assembler("dead-consumer")
+    a.word(0x100, 0)
+    a.li("s1", 0x100)
+    a.li("s3", 0)
+    a.li("s4", 4)
+    a.label("loop")
+    a.task_begin()
+    a.sw("s3", "s1", 0)
+    a.lw("t0", "s1", 0)  # reads the store back; t0 is never used
+    a.addi("s3", "s3", 1)
+    a.blt("s3", "s4", "loop")
+    a.halt()
+    diags = lint_program(a.assemble(), symbolic=True)
+    hits = [d for d in diags if d.rule_id == "dead-store-no-consumer"]
+    assert len(hits) == 1
+    assert hits[0].pc == 3  # anchored at the store
+    assert hits[0].severity == "info"
+
+
+def test_dead_store_no_consumer_silent_when_value_is_used():
+    a = Assembler("live-consumer")
+    a.word(0x100, 0)
+    a.li("s1", 0x100)
+    a.li("s3", 0)
+    a.li("s4", 4)
+    a.label("loop")
+    a.task_begin()
+    a.sw("s3", "s1", 0)
+    a.lw("t0", "s1", 0)
+    a.add("s3", "s3", "t0")  # the loaded value now feeds the counter
+    a.addi("s3", "s3", 1)
+    a.blt("s3", "s4", "loop")
+    a.halt()
+    diags = lint_program(a.assemble(), symbolic=True)
+    assert "dead-store-no-consumer" not in rules_of(diags)
+
+
+def test_slice_too_expensive():
+    # the pair's shared address register sits behind a 70-instruction
+    # copy chain: the address slice blows the 64-instruction budget
+    a = Assembler("pricey-slice")
+    a.word(0x100, 0)
+    a.li("s1", 0x100)
+    a.li("s3", 0)
+    a.li("s4", 4)
+    a.label("loop")
+    a.task_begin()
+    a.addi("t0", "s1", 0)
+    for _ in range(70):
+        a.addi("t0", "t0", 0)
+    a.sw("s3", "t0", 0)
+    a.lw("t1", "t0", 0)
+    a.add("s3", "s3", "t1")
+    a.addi("s3", "s3", 1)
+    a.blt("s3", "s4", "loop")
+    a.halt()
+    diags = lint_program(a.assemble(), symbolic=True)
+    hits = [d for d in diags if d.rule_id == "slice-too-expensive"]
+    assert hits and all(d.severity == "warning" for d in hits)

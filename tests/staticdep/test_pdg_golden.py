@@ -1,0 +1,60 @@
+"""Golden-payload regression tests for ``repro pdg`` / ``repro slice``.
+
+Every example program's PDG report (graph statistics plus the per-pair
+predictor-slice listing) and the backward *address* slice of each of
+its stores are pinned as checked-in JSON fixtures — the same payloads
+the CLI renders — so any change to the graph construction, the cost
+model, or the slicing closure shows up as a readable diff.  Intentional
+rebaselines: run
+
+    PYTHONPATH=src python -m pytest tests/staticdep/test_pdg_golden.py --update-golden
+
+review the diff under ``tests/staticdep/golden_pdg/``, and commit it.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.isa.parser import parse_file
+from repro.staticdep import pdg_report, slice_report
+
+EXAMPLES = sorted(Path("examples/programs").glob("*.s"))
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden_pdg"
+
+
+def rendered(program_path) -> str:
+    program = parse_file(str(program_path))
+    payload = {
+        "pdg": pdg_report(program),
+        "slices": [
+            slice_report(program, inst.pc, "address")
+            for inst in program
+            if inst.is_store
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def test_example_set_is_nonempty():
+    assert EXAMPLES, "examples/programs/*.s disappeared"
+
+
+@pytest.mark.parametrize("program_path", EXAMPLES, ids=lambda p: p.stem)
+def test_pdg_golden(program_path, request):
+    path = GOLDEN_DIR / (program_path.stem + ".json")
+    text = rendered(program_path)
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        pytest.skip("rebaselined %s" % path.name)
+    assert path.exists(), (
+        "missing golden fixture %s — generate it with "
+        "`pytest tests/staticdep/test_pdg_golden.py --update-golden`" % path
+    )
+    assert text == path.read_text(), (
+        "%s PDG payload drifted from the golden fixture; if the change "
+        "is intentional, rerun with --update-golden and commit the "
+        "diff" % program_path.name
+    )

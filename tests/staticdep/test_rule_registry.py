@@ -19,7 +19,7 @@ TEST_DIRS = (REPO / "tests",)
 
 
 def test_registry_shape():
-    assert len(RULE_REGISTRY) == 20
+    assert len(RULE_REGISTRY) == 24
     ids = [rule_id for rule_id, _, _ in RULE_REGISTRY]
     assert len(set(ids)) == len(ids), "duplicate rule ids"
     assert ALL_RULE_IDS == frozenset(ids)
@@ -43,6 +43,45 @@ def test_every_rule_is_documented():
             "rule %r missing from the docs/static-analysis.md catalogue"
             % rule_id
         )
+
+
+def _documented_rules():
+    """Parse the docs catalogue table: rule id -> documented severity.
+
+    Catalogue rows look like ``| `rule-id` | severity | fires when |``;
+    other backtick mentions in prose are ignored.
+    """
+    documented = {}
+    for line in DOCS.read_text().splitlines():
+        cells = [c.strip() for c in line.strip().strip("|").split("|")]
+        if len(cells) < 3 or not cells[0].startswith("`"):
+            continue
+        rule_id = cells[0].strip("`")
+        if rule_id in ALL_RULE_IDS or cells[1] in (ERROR, WARNING, INFO):
+            documented[rule_id] = cells[1]
+    return documented
+
+
+def test_docs_catalogue_matches_registry_exactly():
+    # the reverse direction of test_every_rule_is_documented: the docs
+    # table must not advertise rules the linter no longer implements,
+    # and each documented severity must match the registered one
+    documented = _documented_rules()
+    registry = {rule_id: severity for rule_id, severity, _ in RULE_REGISTRY}
+    stale = sorted(set(documented) - set(registry))
+    assert not stale, (
+        "docs/static-analysis.md documents rules the registry does not "
+        "implement: %s" % stale
+    )
+    mismatched = {
+        rule_id: (documented[rule_id], registry[rule_id])
+        for rule_id in documented
+        if documented[rule_id] != registry[rule_id]
+    }
+    assert not mismatched, (
+        "documented severity disagrees with RULE_REGISTRY "
+        "(docs, registry): %s" % mismatched
+    )
 
 
 def test_every_rule_is_tested():
