@@ -63,8 +63,10 @@ from repro.core.stats import speedup
 from repro.experiments import ALL_EXPERIMENTS
 from repro.frontend import analyze_trace, run_program
 from repro.multiscalar import (
+    KERNELS,
     MultiscalarConfig,
     MultiscalarSimulator,
+    active_kernel,
     available_policies,
     make_policy,
 )
@@ -113,11 +115,22 @@ def _build_parser() -> argparse.ArgumentParser:
             "else no recording",
         )
 
+    def add_kernel_flag(p):
+        p.add_argument(
+            "--kernel", choices=KERNELS, default=None,
+            help="simulation kernel: 'cycle' (reference scan), 'event' "
+            "(event-driven scheduler), or 'batched' (columnar batched "
+            "kernel; falls back per cell when unsupported).  All three "
+            "produce bit-identical results.  Default: $REPRO_KERNEL, "
+            "else 'event'.  Exported to worker processes.",
+        )
+
     p_sim = sub.add_parser("simulate", help="run one timing simulation")
     p_sim.add_argument("workload")
     p_sim.add_argument("--policy", default="esync", choices=POLICIES)
     p_sim.add_argument("-n", "--stages", type=int, default=8)
     p_sim.add_argument("--scale", default="test")
+    add_kernel_flag(p_sim)
     add_telemetry_flags(p_sim)
     add_ledger_flag(p_sim)
 
@@ -125,6 +138,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("workload")
     p_cmp.add_argument("-n", "--stages", type=int, default=8)
     p_cmp.add_argument("--scale", default="test")
+    add_kernel_flag(p_cmp)
     add_telemetry_flags(p_cmp)
 
     def add_executor_flags(p):
@@ -166,6 +180,12 @@ def _build_parser() -> argparse.ArgumentParser:
             help="append every progress event as one JSON line to FILE "
             "(the machine-readable sibling of --watch)",
         )
+        p.add_argument(
+            "--batch", action="store_true",
+            help="group cells that share one decoded trace onto one "
+            "worker (each trace decoded exactly once per pool); pure "
+            "scheduling — results and cache keys are unchanged",
+        )
 
     p_exp = sub.add_parser(
         "experiment", help="regenerate a paper table/figure",
@@ -180,6 +200,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="COLUMN",
         help="additionally render COLUMN as a text bar chart",
     )
+    add_kernel_flag(p_exp)
     add_executor_flags(p_exp)
     add_telemetry_flags(p_exp)
     add_ledger_flag(p_exp)
@@ -202,6 +223,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--override stages=4,8 (repeatable; the grid is the cross product)",
     )
     p_sweep.add_argument("--scale", default="tiny")
+    add_kernel_flag(p_sweep)
     add_executor_flags(p_sweep)
     add_telemetry_flags(p_sweep)
     add_ledger_flag(p_sweep)
@@ -545,6 +567,7 @@ def cmd_simulate(args) -> int:
                 "policy": args.policy,
                 "stages": args.stages,
                 "scale": args.scale,
+                "kernel": active_kernel(),
             },
             fingerprints=fingerprints,
             phases=PROFILER.summary(since=mark),
@@ -806,7 +829,12 @@ def _experiment_serial(args, keys) -> int:
         _record_run(
             args,
             "experiment",
-            config={"which": args.which, "scale": args.scale, "experiments": keys},
+            config={
+                "which": args.which,
+                "scale": args.scale,
+                "experiments": keys,
+                "kernel": active_kernel(),
+            },
             fingerprints=_cell_fingerprints(experiment_cells(keys, args.scale)),
             phases=PROFILER.summary(since=mark),
             wall_seconds=round(time.time() - start, 6),
@@ -847,7 +875,12 @@ def _experiment_executor(args, keys, jobs) -> int:
         _record_run(
             args,
             "experiment",
-            config={"which": args.which, "scale": args.scale, "experiments": keys},
+            config={
+                "which": args.which,
+                "scale": args.scale,
+                "experiments": keys,
+                "kernel": active_kernel(),
+            },
             fingerprints=_cell_fingerprints(experiment_cells(keys, args.scale)),
             executor=report.counters(),
             metrics=metrics.to_dict() if metrics is not None else None,
@@ -928,6 +961,7 @@ def cmd_sweep(args) -> int:
             metrics=metrics,
             trace=trace,
             progress=progress,
+            batch=args.batch,
         )
     finally:
         if progress_writer is not None:
@@ -946,6 +980,7 @@ def cmd_sweep(args) -> int:
                 "policies": policies,
                 "overrides": {k: list(v) for k, v in overrides.items()},
                 "scale": args.scale,
+                "kernel": active_kernel(),
             },
             fingerprints=_cell_fingerprints(
                 sweep_cells(args.workloads, policies, overrides, args.scale)
@@ -1625,7 +1660,7 @@ def cmd_bench_report(args) -> int:
     hotpath = _hotpath_of(latest_results)
     regressions = []
     if hotpath is not None:
-        for leg in ("warm", "cold"):
+        for leg in ("warm", "cold", "batched"):
             measured = hotpath.get("%s_speedup" % leg)
             reference = baseline.get("%s_speedup" % leg)
             if measured is None or reference is None:
@@ -1661,6 +1696,7 @@ def cmd_bench_report(args) -> int:
         if hp is not None:
             point["warm_speedup"] = hp.get("warm_speedup")
             point["cold_speedup"] = hp.get("cold_speedup")
+            point["batched_speedup"] = hp.get("batched_speedup")
         trajectory.append(point)
 
     if args.as_json:
@@ -1683,8 +1719,8 @@ def cmd_bench_report(args) -> int:
     if trajectory:
         print("benchmark history (%s):" % args.history)
         print(
-            "%-10s %-19s %-6s %6s %10s %6s %6s"
-            % ("sha", "when", "scale", "n", "total", "warm", "cold")
+            "%-10s %-19s %-6s %6s %10s %6s %6s %7s"
+            % ("sha", "when", "scale", "n", "total", "warm", "cold", "batched")
         )
         for point in trajectory:
             when = (
@@ -1693,7 +1729,7 @@ def cmd_bench_report(args) -> int:
                 else "-"
             )
             print(
-                "%-10s %-19s %-6s %6d %9.1fs %6s %6s"
+                "%-10s %-19s %-6s %6d %9.1fs %6s %6s %7s"
                 % (
                     point.get("git_sha") or "-",
                     when,
@@ -1702,6 +1738,7 @@ def cmd_bench_report(args) -> int:
                     point["total_seconds"],
                     point.get("warm_speedup", "-"),
                     point.get("cold_speedup", "-"),
+                    point.get("batched_speedup") or "-",
                 )
             )
     else:
@@ -1711,19 +1748,21 @@ def cmd_bench_report(args) -> int:
         return 0
     print(
         "hot path: warm %sx (baseline %sx), cold %sx (baseline %sx), "
-        "tolerance %sx"
+        "batched kernel %sx (baseline %sx), tolerance %sx"
         % (
             hotpath.get("warm_speedup", "?"),
             baseline.get("warm_speedup", "?"),
             hotpath.get("cold_speedup", "?"),
             baseline.get("cold_speedup", "?"),
+            hotpath.get("batched_speedup", "?"),
+            baseline.get("batched_speedup", "?"),
             tolerance,
         )
     )
     if regressions:
         for reg in regressions:
             print(
-                "REGRESSION: %s-cache speedup %sx fell below %sx "
+                "REGRESSION: %s speedup %sx fell below %sx "
                 "(baseline %sx / tolerance %sx)"
                 % (
                     reg["leg"],
@@ -1735,7 +1774,7 @@ def cmd_bench_report(args) -> int:
                 file=sys.stderr,
             )
         return 1
-    print("no regression: both legs within tolerance of the pinned baseline")
+    print("no regression: all legs within tolerance of the pinned baseline")
     return 0
 
 
@@ -1744,6 +1783,10 @@ def main(argv=None) -> int:
     # the raw argv rides along for the run ledger (tests pass argv
     # explicitly, so sys.argv would be the test runner's)
     args._argv = list(argv) if argv is not None else sys.argv[1:]
+    if getattr(args, "kernel", None):
+        # via the environment so MultiscalarConfig defaults pick it up
+        # everywhere, including forked/spawned executor workers
+        os.environ["REPRO_KERNEL"] = args.kernel
     handler = {
         "workloads": cmd_workloads,
         "trace": cmd_trace,

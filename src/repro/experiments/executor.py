@@ -348,6 +348,32 @@ def _worker(run_cell, spec, key, timeout) -> dict:
     }
 
 
+def _batch_worker(run_cell, specs, keys, timeout) -> List[dict]:
+    """Run a group of cells sharing one decoded trace in one process.
+
+    Each cell is still executed through :func:`_worker` — same
+    per-cell RNG seeding (a pure function of the cell's cache key),
+    same wall-clock budget, same failure capture — so payloads are
+    bit-identical to ungrouped execution and one crashing cell never
+    takes its group down.  The batching win is locality: every cell
+    after the first finds the group's trace (and its shared index and
+    columns) already decoded in this process's memo.
+    """
+    return [_worker(run_cell, spec, key, timeout) for spec, key in zip(specs, keys)]
+
+
+def _group_key(cell: Cell):
+    """The shared-trace grouping key of a cell, or None if ungroupable.
+
+    Sweep cells over one ``(workload, scale)`` decode the same trace;
+    anything else runs alone.  Grouping is pure scheduling: cache keys
+    and payloads are byte-identical either way.
+    """
+    if cell.kind == "sweep":
+        return (cell.param("workload"), cell.param("scale"))
+    return None
+
+
 def _validated(outcome: dict) -> dict:
     """Reject garbage worker returns: the payload must be a
     JSON-serializable dict, else the cell degrades to FAILED."""
@@ -403,6 +429,13 @@ class Executor:
             (``start`` / ``cell`` / ``done`` dicts, see
             :mod:`repro.experiments.progress`) as cells complete; the
             default None skips all progress accounting.
+        batch: group cells that share one decoded trace (sweep cells
+            over the same ``(workload, scale)``) onto one worker, so a
+            pool decodes each trace exactly once instead of once per
+            worker that happens to draw one of its cells.  Purely a
+            scheduling change: cache keys and payloads are identical
+            to ``batch=False``, and a FAILED cell inside a group is
+            retried solo.
     """
 
     def __init__(
@@ -416,6 +449,7 @@ class Executor:
         trace=None,
         prewarm: Optional[Callable[[], None]] = None,
         progress: Optional[Callable[[dict], None]] = None,
+        batch: bool = False,
     ):
         self.jobs = max(1, int(jobs or 1))
         if cache is not None and not isinstance(cache, ResultCache):
@@ -428,6 +462,7 @@ class Executor:
         self.trace = trace if trace is not None else NULL_TRACE
         self.prewarm = prewarm
         self.progress = progress
+        self.batch = bool(batch)
         self._tracker = None
 
     def run(self, cells: Iterable[Cell]) -> RunReport:
@@ -510,45 +545,89 @@ class Executor:
                 )
             )
 
-    def _run_inline(self, cells, keys, results, pending) -> int:
-        retried = 0
+    def _plan(self, pending, cells) -> List[List[int]]:
+        """Pending indices -> execution groups (singletons unless
+        ``batch`` groups cells sharing one decoded trace)."""
+        if not self.batch:
+            return [[index] for index in pending]
+        buckets: Dict[object, List[int]] = {}
+        order: List[List[int]] = []
         for index in pending:
-            attempts = 0
-            while True:
-                attempts += 1
-                outcome = _validated(
-                    _worker(self.run_cell, cells[index].spec(), keys[index], self.timeout)
-                )
-                if outcome["status"] == OK or not self._attempts_left(attempts):
-                    break
-                retried += 1
-            results[index] = self._to_result(cells[index], outcome, attempts)
-            self._cell_progress(results[index])
+            gk = _group_key(cells[index])
+            if gk is None:
+                order.append([index])
+                continue
+            bucket = buckets.get(gk)
+            if bucket is None:
+                buckets[gk] = bucket = []
+                order.append(bucket)
+            bucket.append(index)
+        return order
+
+    def _run_inline(self, cells, keys, results, pending) -> int:
+        # batch grouping only reorders execution (group members run
+        # back-to-back over the per-process trace memo); per-cell
+        # seeding keeps payloads identical in any order
+        retried = 0
+        for group in self._plan(pending, cells):
+            for index in group:
+                attempts = 0
+                while True:
+                    attempts += 1
+                    outcome = _validated(
+                        _worker(self.run_cell, cells[index].spec(), keys[index], self.timeout)
+                    )
+                    if outcome["status"] == OK or not self._attempts_left(attempts):
+                        break
+                    retried += 1
+                results[index] = self._to_result(cells[index], outcome, attempts)
+                self._cell_progress(results[index])
         return retried
 
     def _run_pool(self, cells, keys, results, pending) -> int:
         retried = 0
+        groups = self._plan(pending, cells)
         with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(pending)), mp_context=_pool_context()
+            max_workers=min(self.jobs, len(groups)), mp_context=_pool_context()
         ) as pool:
-            def submit(index, attempts):
-                future = pool.submit(
-                    _worker, self.run_cell, cells[index].spec(), keys[index], self.timeout
-                )
-                inflight[future] = (index, attempts)
+            inflight: Dict[object, Tuple[List[int], int]] = {}
 
-            inflight: Dict[object, Tuple[int, int]] = {}
-            for index in pending:
-                submit(index, 1)
+            def submit(indices, attempts):
+                if len(indices) == 1:
+                    future = pool.submit(
+                        _worker,
+                        self.run_cell,
+                        cells[indices[0]].spec(),
+                        keys[indices[0]],
+                        self.timeout,
+                    )
+                else:
+                    future = pool.submit(
+                        _batch_worker,
+                        self.run_cell,
+                        [cells[i].spec() for i in indices],
+                        [keys[i] for i in indices],
+                        self.timeout,
+                    )
+                inflight[future] = (indices, attempts)
+
+            for group in groups:
+                submit(group, 1)
             while inflight:
                 done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
                 for future in done:
-                    index, attempts = inflight.pop(future)
+                    indices, attempts = inflight.pop(future)
                     try:
-                        outcome = _validated(future.result())
+                        raw = future.result()
+                        outcomes = raw if isinstance(raw, list) else [raw]
+                        if len(outcomes) != len(indices):
+                            raise RuntimeError(
+                                "batch returned %d outcomes for %d cells"
+                                % (len(outcomes), len(indices))
+                            )
                     except Exception as exc:
                         # a worker that died hard (BrokenProcessPool, ...)
-                        outcome = {
+                        crash = {
                             "pid": None,
                             "started": time.time(),
                             "finished": time.time(),
@@ -556,15 +635,20 @@ class Executor:
                             "payload": None,
                             "error": "worker crashed: %s: %s" % (type(exc).__name__, exc),
                         }
-                    if outcome["status"] != OK and self._attempts_left(attempts):
-                        retried += 1
-                        try:
-                            submit(index, attempts + 1)
-                            continue
-                        except Exception:
-                            pass  # pool unusable; record the failure
-                    results[index] = self._to_result(cells[index], outcome, attempts)
-                    self._cell_progress(results[index])
+                        outcomes = [dict(crash) for _ in indices]
+                    for index, outcome in zip(indices, outcomes):
+                        outcome = _validated(outcome)
+                        if outcome["status"] != OK and self._attempts_left(attempts):
+                            retried += 1
+                            try:
+                                # retries run solo: a group-wide failure
+                                # (dead worker) must not respawn the group
+                                submit([index], attempts + 1)
+                                continue
+                            except Exception:
+                                pass  # pool unusable; record the failure
+                        results[index] = self._to_result(cells[index], outcome, attempts)
+                        self._cell_progress(results[index])
         return retried
 
     @staticmethod

@@ -124,7 +124,7 @@ def sweep_cells(
 
 def _sweep_parallel(
     workloads, policies, overrides, scale, jobs, cache_dir, timeout, retries,
-    metrics=None, trace=None, progress=None,
+    metrics=None, trace=None, progress=None, batch=False,
 ) -> SweepResult:
     from repro.experiments.executor import Executor
 
@@ -137,6 +137,7 @@ def _sweep_parallel(
         metrics=metrics,
         trace=trace,
         progress=progress,
+        batch=batch,
     )
     report = executor.run(cells)
     result = SweepResult()
@@ -175,6 +176,7 @@ def sweep(
     metrics=None,
     trace=None,
     progress=None,
+    batch: bool = False,
 ) -> SweepResult:
     """Run the full cross product and return a :class:`SweepResult`.
 
@@ -189,7 +191,10 @@ def sweep(
     ``result.failed`` instead of aborting.  The executor path supports
     the default base configuration plus scalar ``overrides`` only (cell
     specs must be JSON-serializable); results are bit-identical to the
-    serial path.
+    serial path.  ``batch=True`` additionally groups cells that share
+    one decoded trace onto one worker so the trace is decoded and
+    indexed once per group — a pure scheduling change, results and
+    cache keys are unchanged.
     """
     if jobs is not None or cache_dir is not None:
         if base_config is not None or traces is not None:
@@ -201,6 +206,7 @@ def sweep(
         return _sweep_parallel(
             workloads, policies, overrides, scale, jobs, cache_dir,
             timeout, retries, metrics=metrics, trace=trace, progress=progress,
+            batch=batch,
         )
     overrides = overrides or {}
     base = base_config or MultiscalarConfig()

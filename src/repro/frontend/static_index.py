@@ -73,12 +73,15 @@ class TraceIndex:
         "prior_task_stores",
         "all_store_seqs",
         "addr_producer",
+        # memoized struct-of-arrays view (repro.frontend.columns)
+        "_columns",
     )
 
     def __init__(self, trace):
         entries = trace.entries
         n = len(entries)
         self.n = n
+        self._columns = None
 
         # -- columns --------------------------------------------------
         self.pc = array("i", bytes(4 * n))
@@ -202,3 +205,19 @@ class TraceIndex:
             rd = inst.rd
             if rd is not None and rd != 0:
                 last_writer[rd] = entry.seq
+
+    def columns(self, trace):
+        """The struct-of-arrays view of ``trace``, memoized on this index.
+
+        ``trace`` must be the trace this index was built from; the
+        column view carries the per-entry fields the index does not
+        (next_pc, taken, task_pc) plus the per-task aggregates of the
+        batched kernel.  Sharing the memo with the index means
+        ``share_index`` semantics carry over: simulators given a private
+        index also get private columns.
+        """
+        if self._columns is None:
+            from repro.frontend.columns import TraceColumns
+
+            self._columns = TraceColumns(trace, self)
+        return self._columns

@@ -83,8 +83,9 @@ class Trace:
         self._index = None
 
     def __getstate__(self):
-        # memoized derivations are cheap to rebuild and heavy to ship;
-        # pickles (executor workers, caches) carry only the substance
+        # memoized derivations (index, columns) are cheap to rebuild and
+        # heavy to ship; pickles (executor workers, caches) carry only
+        # the substance
         return (self.program, self.entries)
 
     def __setstate__(self, state):
@@ -157,6 +158,15 @@ class Trace:
 
             self._index = TraceIndex(self)
         return self._index
+
+    def columns(self):
+        """The trace's shared struct-of-arrays column view.
+
+        Memoized on the shared index (one build per decoded trace); see
+        :class:`~repro.frontend.columns.TraceColumns`.  Like the index,
+        the columns are immutable and shared between concurrent runs.
+        """
+        return self.index().columns(self)
 
     def dependence_edges(self):
         """Iterate over true dependence edges as (store_entry, load_entry)."""

@@ -5,7 +5,9 @@ from repro.multiscalar.explain import ExplainReport, SquashLedger, explain_progr
 from repro.multiscalar.config import (
     FU_COUNTS,
     FU_LATENCIES,
+    KERNELS,
     MultiscalarConfig,
+    active_kernel,
     eight_stage,
     four_stage,
 )
@@ -34,7 +36,9 @@ __all__ = [
     "ExplainReport",
     "FU_COUNTS",
     "FU_LATENCIES",
+    "KERNELS",
     "SquashLedger",
+    "active_kernel",
     "explain_program",
     "MechanismPolicy",
     "MultiscalarConfig",

@@ -1,0 +1,982 @@
+"""The columnar batched simulation kernel.
+
+A flattened, monomorphic port of the event-driven scheduler in
+:mod:`repro.multiscalar.processor`, specialised for the common grid
+shape (oracle register model, telemetry off).  The object kernel pays
+for its generality in CPython dispatch: the inner scan crosses several
+method boundaries per entry (``_try_issue`` → ``_intra_task_gate`` →
+``policy.may_issue_load`` → ``deny_hints`` → ``_park`` →
+``cache.access``), each re-hoisting its attribute loads.  This kernel
+advances many entries per step inside ONE loop body over shared
+struct-of-arrays columns (:class:`~repro.frontend.columns.TraceColumns`):
+
+- stateless policy decisions (NEVER/ALWAYS/WAIT/PSYNC) are inlined as
+  vectorised-predicate dispatch on precomputed columns — no per-load
+  method calls at all;
+- trace-pure streams are precomputed once per decoded trace and shared
+  across every (config, policy) cell: the cache bank/set/tag geometry
+  and the sequencer's correct/mispredict stream (a pure function of the
+  task-PC sequence);
+- stateful policies (the MDPT/MDST mechanism family, store sets, VSYNC)
+  keep their object callbacks — the *kernel* around them is still flat,
+  so their runs speed up too while every table update stays
+  bit-identical.
+
+Bit-identity with the object kernel is the contract, not a goal: the
+port preserves statement order, the no-rollback semantics of
+``_park``, the shared hint list across store resolution and issue, the
+mid-scan squash behaviour of VSYNC (iteration continues over the
+pre-squash entry list), and the compaction arithmetic — all of it
+enforced by ``tests/multiscalar/test_kernel_differential.py``.
+
+Runs the kernel cannot reproduce exactly fall back to the object path
+(see :func:`supports`): the speculative register models issue on stale
+values whose wake conditions the event plans do not track, and
+telemetry instrumentation points are deliberately not replicated here.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Dict, List, Optional
+
+from repro.core.stats import SpeculationStats
+from repro.frontend.static_index import FU_ORDER, NUM_FU_CLASSES
+from repro.memsys.icache import InstructionCache
+from repro.multiscalar.policies import (
+    WAKE_ADDR_MIN,
+    WAKE_COMMIT,
+    WAKE_EXEC_MIN,
+    WAKE_ISSUE,
+    WAKE_RESOLVE,
+    WAKE_TIME,
+    AlwaysPolicy,
+    NeverPolicy,
+    PerfectSyncPolicy,
+    WaitPolicy,
+)
+from repro.multiscalar.processor import _INF, SimulationError, _LazyMinSet
+from repro.multiscalar.sequencer import PathBasedTaskPredictor
+
+#: Parked entries past the leading inert run absorb into the scan-prefix
+#: memo only when their timed wake is at least this far out (or purely
+#: event-registered).  Near wakes — FU retries at now+1, short producer
+#: latencies — would fold into the prefix's wake and throw the whole
+#: memo away almost every cycle; far wakes amortize one reset against
+#: many skipped re-walks.  8 cycles measured best on the specint92
+#: grid; the choice only affects visit patterns, never results.
+_FAR_HORIZON = 8
+
+# Policy kinds with fully inlined issue predicates.  Dispatch is on the
+# EXACT type: a subclass may override anything, so it takes the generic
+# (object-call) path.
+_STATEFUL = 0
+_ALWAYS = 1
+_NEVER = 2
+_WAIT = 3
+_PSYNC = 4
+
+_KIND_OF = {
+    AlwaysPolicy: _ALWAYS,
+    NeverPolicy: _NEVER,
+    WaitPolicy: _WAIT,
+    PerfectSyncPolicy: _PSYNC,
+}
+
+
+def supports(sim) -> bool:
+    """Can the batched kernel reproduce this run bit-identically?
+
+    Two features stay on the object path:
+
+    - non-oracle register models (``conservative``/``always``/
+      ``predict``): they issue on stale register values whose
+      availability the event wake plans do not track, so the object
+      kernel runs them under the cycle scheduler semantics;
+    - telemetry-instrumented runs: the kernel does not replicate the
+      per-load stall traces and counters (results are identical either
+      way — the telemetry A/B suite holds the object path to that — so
+      instrumented runs just take the instrumented kernel).
+    """
+    return sim.config.register_speculation == "oracle" and not sim._tel_on
+
+
+def _sequencer_stream(task_pcs, history):
+    """Replay the path predictor over the static task-PC sequence.
+
+    ``PathBasedTaskPredictor.record`` consumes only the sequence of
+    actual next-task PCs, and the simulator feeds it exactly the static
+    task order (one record per dispatch, and every task dispatches
+    exactly once — squash does not un-dispatch).  The per-dispatch
+    correct/mispredict stream is therefore a pure function of
+    ``(task_pcs, history)``, shared across every cell over one trace.
+    """
+    predictor = PathBasedTaskPredictor(history=history)
+    record = predictor.record
+    stream = [record(pc) for pc in task_pcs[1:]]
+    return stream, predictor.predictions, predictor.mispredictions
+
+
+def run_batched(sim) -> SpeculationStats:
+    """Run ``sim`` to completion on the batched kernel.
+
+    Mirrors ``MultiscalarSimulator._run_object`` state-for-state: every
+    run attribute is created on ``sim`` (policies, the sanitizer, the
+    squash ledger, and the cold-path squash machinery all read them)
+    and aliased to locals; containers are shared by reference, so
+    mutations made by ``sim`` methods called from here stay visible.
+    Only the scalars (``_head``, ``_next_dispatch``) need explicit
+    syncing before any call that can read them.
+    """
+    cfg = sim.config
+    n = sim.n
+    n_tasks = sim.n_tasks
+    policy = sim.policy
+    kind = _KIND_OF.get(type(policy), _STATEFUL)
+    stateful = kind == _STATEFUL
+
+    cols = sim._index.columns(sim.trace)
+
+    # ---- per-run state, exactly as the object run() creates it ----
+    done: List[Optional[int]] = [None] * n
+    sim.done = done
+    sim.issued = issued = [False] * n
+    issue_time: List[Optional[int]] = [None] * n
+    sim.issue_time = issue_time
+    sim._completed = completed = [False] * n
+    sim._epoch = epochs = [0] * n
+    sim._reg_spec_mode = cfg.register_speculation
+    sim._reg_learned = set()
+    events: List[tuple] = []
+    sim._events = events
+    pending_class: Dict[int, str] = {}
+    sim._pending_class = pending_class
+    sim._issue_floor = issue_floor = [0] * n_tasks
+
+    sim._unissued_stores = unissued_stores = _LazyMinSet(sim.all_store_seqs)
+    sim._unexecuted_stores = unexecuted_stores = _LazyMinSet(sim.all_store_seqs)
+    sim._unknown_addr_stores = unknown_addr = _LazyMinSet(sim.all_store_seqs)
+    sim._store_perform = store_perform = [0] * n
+
+    dispatch_time: List[Optional[int]] = [None] * n_tasks
+    sim._dispatch_time = dispatch_time
+    fetch_time: Dict[int, int] = {}
+    sim._fetch_time = fetch_time
+    sim._icaches = icaches = (
+        [InstructionCache() for _ in range(cfg.stages)] if cfg.model_icache else None
+    )
+    tasks = sim.tasks
+    sim._remaining = remaining = [len(seqs) for seqs in tasks]
+    task_unissued: Dict[int, List[int]] = {}
+    sim._task_unissued = task_unissued
+    sim._task_live = task_live = [0] * n_tasks
+    sim._head = 0
+    sim._next_dispatch = 0
+    sim._last_dispatch_time = -cfg.dispatch_latency
+
+    # the sequencer stream is trace-pure: prefill the whole
+    # correct/mispredict schedule instead of calling record() per
+    # dispatch (entry t is written at task t-1's dispatch and read no
+    # earlier than task t's own dispatch-readiness check, so prefilling
+    # is unobservable)
+    history = cfg.predictor_history
+    task_pcs = sim.task_pcs
+    stream, total_predictions, total_mispredictions = cols.derived(
+        ("sequencer", history),
+        lambda: _sequencer_stream(task_pcs, history),
+    )
+    pending_correct = [True] * (n_tasks + 1)
+    if n_tasks > 1:
+        pending_correct[1:n_tasks] = stream
+    sim._pending_correct = pending_correct
+    sim.sequencer = sequencer = PathBasedTaskPredictor(history=history)
+    sim._load_first_attempt = {}
+
+    # the batched kernel IS the event-driven scheduling algorithm
+    # (bit-identical to the cycle scheduler by construction); sim-side
+    # wake helpers (note_load_wake) must see skip mode enabled
+    sim._skip_enabled = True
+    sim._task_dirty = dirty = [True] * n_tasks
+    next_try: List[float] = [0] * n_tasks
+    sim._task_next_try = next_try
+    wake_on_issue: Dict[int, List[tuple]] = {}
+    sim._wake_on_issue = wake_on_issue
+    resolve_watchers: Dict[int, List[tuple]] = {}
+    sim._resolve_watchers = resolve_watchers
+    addr_watchers: List[tuple] = []
+    sim._addr_watchers = addr_watchers
+    exec_watchers: List[tuple] = []
+    sim._exec_watchers = exec_watchers
+    commit_watchers: List[tuple] = []
+    sim._commit_watchers = commit_watchers
+    sim._entry_parked = parked = bytearray(n)
+    entry_wake: List[float] = [0.0] * n
+    sim._entry_wake = entry_wake
+    sim._scan_pos = scan_pos = [0] * n_tasks
+    sim._scan_considered = scan_considered = [0] * n_tasks
+    scan_wake: List[float] = [_INF] * n_tasks
+    sim._scan_wake = scan_wake
+    sim._scan_last = scan_last = [-1] * n_tasks
+
+    sim._fu_limits = fu_limits = [cfg.fu_counts[cls] for cls in FU_ORDER]
+    latencies = [cfg.fu_latencies[cls] for cls in FU_ORDER]
+
+    policy.bind(sim)
+
+    # ---- hoisted locals (the whole point of this kernel) ----
+    stats = sim.stats
+    task_of = sim.task_of
+    index_in_task = sim.index_in_task
+    src_producers = sim.src_producers
+
+    # register producers unrolled into two parallel columns (-1 = none):
+    # the ISA has at most two source registers, so the issue loop can
+    # check both without tuple iteration overhead
+    def _build_src_pair():
+        p1 = [-1] * n
+        p2 = [-1] * n
+        for s, prods in enumerate(src_producers):
+            if prods:
+                p1[s] = prods[0]
+                if len(prods) > 1:
+                    p2[s] = prods[1]
+        return p1, p2
+
+    src_p1, src_p2 = cols.derived("src_pair", _build_src_pair)
+    far_horizon = _FAR_HORIZON
+
+    # more dict-of-the-object-kernel -> column conversions: the oracle
+    # producer of each load (-1 = none), the earlier same-task stores
+    # gating each load (None = none), and the static completion latency
+    # of every non-memory entry (latency depends on the config, so the
+    # memo key carries it)
+    producers = sim.producers
+
+    def _build_producer_col():
+        col = [-1] * n
+        for load_seq, store_seq in producers.items():
+            if store_seq is not None:
+                col[load_seq] = store_seq
+        return col
+
+    producer_col = cols.derived("producer_col", _build_producer_col)
+
+    prior_task_stores = sim.prior_task_stores
+
+    def _build_prior_stores_col():
+        col: List[Optional[List[int]]] = [None] * n
+        for load_seq, stores in prior_task_stores.items():
+            col[load_seq] = stores
+        return col
+
+    prior_stores_col = cols.derived("prior_stores_col", _build_prior_stores_col)
+
+    fu_code = cols.fu_code
+
+    def _build_static_lat():
+        return [latencies[fu_code[s]] for s in range(n)]
+
+    static_lat = cols.derived(("static_lat", tuple(latencies)), _build_static_lat)
+    dependents_get = sim.dependents.get
+    addr_producer_get = sim.addr_producer.get
+    c_addr = sim._c_addr
+    c_is_load = sim._c_is_load
+    c_is_store = sim._c_is_store
+    c_is_memory = sim._c_is_memory
+    c_fu = sim._c_fu
+
+    unknown_set = unknown_addr._set
+    unknown_min = unknown_addr.minimum
+    unknown_discard = unknown_addr.discard
+    unissued_discard = unissued_stores.discard
+    unexecuted_min = unexecuted_stores.minimum
+    unexecuted_discard = unexecuted_stores.discard
+    wake_on_issue_pop = wake_on_issue.pop
+    wake_on_issue_setdefault = wake_on_issue.setdefault
+    resolve_watchers_pop = resolve_watchers.pop
+    resolve_watchers_setdefault = resolve_watchers.setdefault
+
+    cache = sim.cache
+    ccfg = cache.config
+    bank_col, set_col, tag_col = cols.cache_geometry(
+        ccfg.banks, ccfg.block_bytes, ccfg.sets_per_bank
+    )
+    bank_busy = cache._bank_busy_until
+    bank_tags = cache._tags
+    hit_latency = ccfg.hit_latency
+    miss_latency = ccfg.hit_latency + ccfg.miss_penalty
+    cache_hits = 0
+    cache_misses = 0
+    cache_conflicts = 0
+
+    task_n_instr = cols.task_n_instr
+    task_n_loads = cols.task_n_loads
+    task_n_stores = cols.task_n_stores
+    task_load_seqs = cols.task_load_seqs
+
+    find_violation = sim._find_violation
+    handle_violation = sim._handle_violation
+    schedule_fetch = sim._schedule_fetch
+    may_issue_load = policy.may_issue_load
+    deny_hints = policy.deny_hints
+    on_store_issued = policy.on_store_issued
+    on_task_dispatched = policy.on_task_dispatched
+    on_task_committed = policy.on_task_committed
+
+    stages = cfg.stages
+    rs_window = cfg.rs_window
+    issue_width = cfg.issue_width
+    fetch_width = cfg.fetch_width
+    hop = cfg.ring_hop_latency
+    agen = cfg.agen_latency
+    dispatch_latency = cfg.dispatch_latency
+    mispredict_penalty = cfg.mispredict_penalty
+
+    head = 0
+    next_dispatch = 0
+    last_dispatch_time = -dispatch_latency
+    shared_hints: List[tuple] = []
+
+    now = 0
+    idle_cycles = 0
+    while head < n_tasks:
+        progressed = False
+
+        # ---- completion events (_process_events) --------------------
+        store_completed = False
+        while events and events[0][0] <= now:
+            time, seq, epoch = heappop(events)
+            if epoch != epochs[seq] or not issued[seq]:
+                continue  # stale (squashed) event
+            progressed = True
+            completed[seq] = True
+            remaining[task_of[seq]] -= 1
+            if c_is_store[seq]:
+                unexecuted_discard(seq)
+                store_completed = True
+                if dependents_get(seq) is not None:
+                    sim._head = head
+                    sim._next_dispatch = next_dispatch
+                    violator = find_violation(seq, time)
+                    if violator is not None:
+                        handle_violation(seq, violator, time)
+        if store_completed and exec_watchers:
+            m = unexecuted_min()
+            while exec_watchers and (m is None or exec_watchers[0][0] <= m):
+                _, t_id, s = heappop(exec_watchers)
+                parked[s] = 0
+                dirty[t_id] = True
+                if s <= scan_last[t_id]:
+                    scan_pos[t_id] = 0
+                    scan_considered[t_id] = 0
+                    scan_wake[t_id] = _INF
+                    scan_last[t_id] = -1
+
+        # ---- dispatch (_try_dispatch) -------------------------------
+        while next_dispatch < n_tasks and next_dispatch - head < stages:
+            task_id = next_dispatch
+            ready = last_dispatch_time + dispatch_latency
+            if not pending_correct[task_id]:
+                last_prev = tasks[task_id - 1][-1]
+                resolve_t = done[last_prev]
+                if resolve_t is None or not issued[last_prev]:
+                    break  # misprediction not resolved yet
+                alt = resolve_t + mispredict_penalty
+                if alt > ready:
+                    ready = alt
+            if ready > now:
+                break
+            dispatch_time[task_id] = now
+            last_dispatch_time = now
+            dirty[task_id] = True
+            next_try[task_id] = now
+            task_unissued[task_id] = list(tasks[task_id])
+            task_live[task_id] = len(tasks[task_id])
+            if icaches is not None:
+                schedule_fetch(task_id, now)
+            next_dispatch += 1
+            if stateful:
+                sim._head = head
+                sim._next_dispatch = next_dispatch
+                on_task_dispatched(task_id, now)
+            # sequencer.record is replaced by the prefilled stream
+            progressed = True
+        sim._next_dispatch = next_dispatch
+
+        # ---- issue (_issue_phase with everything inlined) -----------
+        for task_id in range(head, next_dispatch):
+            if not dirty[task_id] and next_try[task_id] > now:
+                continue
+            dirty[task_id] = False
+            if dispatch_time[task_id] > now:
+                continue
+            if not task_live[task_id]:
+                next_try[task_id] = _INF
+                continue
+            floor = issue_floor[task_id]
+            if floor > now:
+                next_try[task_id] = floor
+                continue
+            unissued = task_unissued[task_id]
+            counters = [0] * NUM_FU_CLASSES
+            issued_count = 0
+            resolved = False
+            unparked = 0
+            nt_plan = _INF
+            dispatch = dispatch_time[task_id]
+            fetch_limit = (now - dispatch + 1) * fetch_width
+            pfx_pos = scan_pos[task_id]
+            pfx_wake = scan_wake[task_id]
+            if pfx_pos and now >= pfx_wake:
+                pfx_pos = 0
+                pfx_wake = _INF
+            if pfx_pos:
+                considered = scan_considered[task_id]
+                new_last = scan_last[task_id]
+                if pfx_wake < nt_plan:
+                    nt_plan = pfx_wake
+                entries = unissued[pfx_pos:]
+            else:
+                considered = 0
+                new_last = -1
+                entries = unissued
+            new_pos = pfx_pos
+            new_considered = considered
+            new_wake = pfx_wake
+            # Two-tier prefix absorption.  The *leading* inert run (the
+            # object kernel's memo) absorbs any parked entry, timed or
+            # not — its wake folds into new_wake and resets the memo
+            # when due.  Past the first action point, scans keep
+            # absorbing (``growing``) but only entries that cannot
+            # poison the memo's wake: dead entries and parks whose wake
+            # is event-registered (nt == _INF) or at least _FAR_HORIZON
+            # out.  Near timed parks there would make pfx_wake fire
+            # nearly every cycle and throw the whole prefix away —
+            # measurably worse than not absorbing at all.  Stateful
+            # runs stop growing at the first *action* point like the
+            # object kernel: a mid-scan squash (VSYNC) resets the memos
+            # of every task whose prefix could hide revived entries.
+            growing = True
+            leading = True
+            far = now + far_horizon
+            for seq in entries:
+                if issued[seq]:
+                    if growing:
+                        new_pos += 1
+                    continue  # dead entry awaiting compaction
+                considered += 1
+                if parked[seq]:
+                    wake = entry_wake[seq]
+                    if wake > now:
+                        if considered > rs_window or issued_count >= issue_width:
+                            break
+                        if wake < nt_plan:
+                            nt_plan = wake
+                        if growing:
+                            if leading or wake >= far:
+                                new_pos += 1
+                                new_considered += 1
+                                if wake < new_wake:
+                                    new_wake = wake
+                                new_last = seq
+                            else:
+                                growing = False
+                        continue
+                    parked[seq] = 0  # its timed wake is due: rescan
+                leading = False
+                if stateful:
+                    growing = False
+                if icaches is None:
+                    if index_in_task[seq] >= fetch_limit:
+                        fetch = dispatch + index_in_task[seq] // fetch_width
+                        if fetch < nt_plan:
+                            nt_plan = fetch
+                        break
+                else:
+                    fetch = fetch_time.get(seq, dispatch)
+                    if fetch > now:
+                        if fetch < nt_plan:
+                            nt_plan = fetch
+                        break
+                if considered <= rs_window and c_is_store[seq] and seq in unknown_set:
+                    # ---- _resolve_store_address inline ----
+                    producer = addr_producer_get(seq)
+                    res_ok = True
+                    if producer is not None:
+                        p_done = done[producer]
+                        if p_done is None:
+                            shared_hints.append((WAKE_ISSUE, producer))
+                            res_ok = False
+                        else:
+                            avail = p_done
+                            p_task = task_of[producer]
+                            if p_task != task_id:
+                                avail += hop * (task_id - p_task)
+                            if avail + agen > now:
+                                shared_hints.append((WAKE_TIME, avail + agen))
+                                res_ok = False
+                    if res_ok:
+                        unknown_discard(seq)
+                        if addr_watchers:
+                            m = unknown_min()
+                            while addr_watchers and (
+                                m is None or addr_watchers[0][0] <= m
+                            ):
+                                _, t_id, s = heappop(addr_watchers)
+                                parked[s] = 0
+                                dirty[t_id] = True
+                                if s <= scan_last[t_id]:
+                                    scan_pos[t_id] = 0
+                                    scan_considered[t_id] = 0
+                                    scan_wake[t_id] = _INF
+                                    scan_last[t_id] = -1
+                        if seq in resolve_watchers:
+                            for t_id, s in resolve_watchers_pop(seq):
+                                parked[s] = 0
+                                dirty[t_id] = True
+                                if s <= scan_last[t_id]:
+                                    scan_pos[t_id] = 0
+                                    scan_considered[t_id] = 0
+                                    scan_wake[t_id] = _INF
+                                    scan_last[t_id] = -1
+                        resolved = True
+                if considered > rs_window or issued_count >= issue_width:
+                    if shared_hints:
+                        del shared_hints[:]
+                    break
+                # ---- _try_issue inline (event-plan path) ----
+                # Deny sites park *directly* when they can: each site
+                # has just verified its own wake condition, so the
+                # generic hint-list round trip (_park re-validating
+                # every registration) is pure overhead.  direct_nt is
+                # the park's timed wake (_INF for pure event wakes);
+                # the trailer finishes the park.  Sites that may run
+                # with hints already pending (a store whose address
+                # resolution left some) fall back to the shared list.
+                ok = False
+                direct_nt = None
+                while True:  # single-pass block: break == return
+                    # register producers, unrolled (at most two sources)
+                    ready = 0
+                    producer = src_p1[seq]
+                    if producer >= 0:
+                        p_done = done[producer]
+                        if p_done is None:
+                            if shared_hints:
+                                shared_hints.append((WAKE_ISSUE, producer))
+                            else:
+                                # producer provably unissued: register now
+                                wake_on_issue_setdefault(producer, []).append(
+                                    (task_id, seq)
+                                )
+                                direct_nt = _INF
+                            break
+                        p_task = task_of[producer]
+                        if p_task != task_id:
+                            p_done += hop * (task_id - p_task)
+                        ready = p_done
+                        producer = src_p2[seq]
+                        if producer >= 0:
+                            p_done = done[producer]
+                            if p_done is None:
+                                if shared_hints:
+                                    shared_hints.append((WAKE_ISSUE, producer))
+                                else:
+                                    wake_on_issue_setdefault(producer, []).append(
+                                        (task_id, seq)
+                                    )
+                                    direct_nt = _INF
+                                break
+                            p_task = task_of[producer]
+                            if p_task != task_id:
+                                p_done += hop * (task_id - p_task)
+                            if p_done > ready:
+                                ready = p_done
+                    if ready > now:
+                        if shared_hints:
+                            shared_hints.append((WAKE_TIME, ready))
+                        else:
+                            direct_nt = ready
+                        break
+                    fu = c_fu[seq]
+                    if counters[fu] >= fu_limits[fu]:
+                        # a full complement already issued into this
+                        # class this scan; retry when the units free
+                        if shared_hints:
+                            shared_hints.append((WAKE_TIME, now + 1))
+                        else:
+                            direct_nt = now + 1
+                        break
+                    if c_is_load[seq]:
+                        addr = c_addr[seq]
+                        # ---- _intra_task_gate inline ----
+                        # loads reach here with shared_hints empty (the
+                        # resolve step runs for stores only), so every
+                        # gate deny parks directly
+                        gated = False
+                        pts = prior_stores_col[seq]
+                        if pts is not None:
+                            for store_seq in pts:
+                                if store_seq in unknown_set:
+                                    resolve_watchers_setdefault(
+                                        store_seq, []
+                                    ).append((task_id, seq))
+                                    direct_nt = _INF
+                                    gated = True
+                                    break
+                                if c_addr[store_seq] == addr:
+                                    s_done = done[store_seq]
+                                    if s_done is None:
+                                        wake_on_issue_setdefault(
+                                            store_seq, []
+                                        ).append((task_id, seq))
+                                        direct_nt = _INF
+                                        gated = True
+                                        break
+                                    if s_done > now:
+                                        direct_nt = s_done
+                                        gated = True
+                                        break
+                        if gated:
+                            break
+                        # ---- policy.may_issue_load / deny_hints,
+                        #      specialised per stateless kind ----
+                        if kind == _ALWAYS:
+                            pass
+                        elif kind == _PSYNC:
+                            producer = producer_col[seq]
+                            if producer >= 0 and not issued[producer]:
+                                wake_on_issue_setdefault(producer, []).append(
+                                    (task_id, seq)
+                                )
+                                direct_nt = _INF
+                                break
+                        elif kind == _NEVER:
+                            m = unknown_min()
+                            producer = producer_col[seq]
+                            if (m is not None and m < seq) or (
+                                producer >= 0 and not issued[producer]
+                            ):
+                                # registration order mirrors deny_hints:
+                                # ADDR_MIN, then ISSUE
+                                if m is not None and m < seq:
+                                    heappush(addr_watchers, (seq, task_id, seq))
+                                if producer >= 0 and not issued[producer]:
+                                    wake_on_issue_setdefault(producer, []).append(
+                                        (task_id, seq)
+                                    )
+                                direct_nt = _INF
+                                break
+                        elif kind == _WAIT:
+                            producer = producer_col[seq]
+                            if producer >= 0 and task_of[producer] >= head:
+                                m = unknown_min()
+                                if (m is not None and m < seq) or not issued[
+                                    producer
+                                ]:
+                                    # registration order mirrors deny_hints:
+                                    # COMMIT, ADDR_MIN, ISSUE
+                                    heappush(
+                                        commit_watchers,
+                                        (task_of[producer], task_id, seq),
+                                    )
+                                    if m is not None and m < seq:
+                                        heappush(
+                                            addr_watchers, (seq, task_id, seq)
+                                        )
+                                    if not issued[producer]:
+                                        wake_on_issue_setdefault(
+                                            producer, []
+                                        ).append((task_id, seq))
+                                    direct_nt = _INF
+                                    break
+                        else:
+                            sim._head = head
+                            if not may_issue_load(seq, now):
+                                hints = deny_hints(seq, now)
+                                if hints:
+                                    shared_hints.extend(hints)
+                                else:
+                                    # the policy does not model its wake
+                                    # conditions: re-ask every cycle
+                                    shared_hints.append((WAKE_TIME, now + 1))
+                                break
+                    if c_is_memory[seq]:
+                        # ---- BankedCache.access inline over the
+                        #      precomputed geometry columns ----
+                        t_access = now + agen
+                        bank = bank_col[seq]
+                        busy = bank_busy[bank]
+                        if busy > t_access:
+                            cache_conflicts += busy - t_access
+                            start = busy
+                        else:
+                            start = t_access
+                        bank_busy[bank] = start + 1
+                        tags = bank_tags[bank]
+                        set_idx = set_col[seq]
+                        tag = tag_col[seq]
+                        if tags.get(set_idx) == tag:
+                            cache_hits += 1
+                            completion = start + hit_latency
+                        else:
+                            cache_misses += 1
+                            tags[set_idx] = tag
+                            completion = start + miss_latency
+                    else:
+                        completion = now + static_lat[seq]
+                    counters[fu] += 1
+                    issued[seq] = True
+                    issue_time[seq] = now
+                    done[seq] = completion
+                    # ---- _fire_issue_wakes inline ----
+                    if seq in wake_on_issue:
+                        for t_id, s in wake_on_issue_pop(seq):
+                            parked[s] = 0
+                            dirty[t_id] = True
+                            if s <= scan_last[t_id]:
+                                scan_pos[t_id] = 0
+                                scan_considered[t_id] = 0
+                                scan_wake[t_id] = _INF
+                                scan_last[t_id] = -1
+                    if c_is_store[seq]:
+                        unissued_discard(seq)
+                        unknown_discard(seq)
+                        if addr_watchers:
+                            m = unknown_min()
+                            while addr_watchers and (
+                                m is None or addr_watchers[0][0] <= m
+                            ):
+                                _, t_id, s = heappop(addr_watchers)
+                                parked[s] = 0
+                                dirty[t_id] = True
+                                if s <= scan_last[t_id]:
+                                    scan_pos[t_id] = 0
+                                    scan_considered[t_id] = 0
+                                    scan_wake[t_id] = _INF
+                                    scan_last[t_id] = -1
+                        if seq in resolve_watchers:
+                            for t_id, s in resolve_watchers_pop(seq):
+                                parked[s] = 0
+                                dirty[t_id] = True
+                                if s <= scan_last[t_id]:
+                                    scan_pos[t_id] = 0
+                                    scan_considered[t_id] = 0
+                                    scan_wake[t_id] = _INF
+                                    scan_last[t_id] = -1
+                        store_perform[seq] = now + 1
+                        if stateful:
+                            # VSYNC may squash from in here; the scan
+                            # then keeps iterating the pre-squash entry
+                            # list, exactly like the object kernel
+                            sim._head = head
+                            on_store_issued(seq, now)
+                    heappush(events, (completion, seq, epochs[seq]))
+                    ok = True
+                    break
+                if ok:
+                    # a store can issue with its failed-resolve hints
+                    # still pending; drop them (hints are cleared lazily
+                    # at consumption sites, not per entry)
+                    if shared_hints:
+                        del shared_hints[:]
+                    issued_count += 1
+                    progressed = True
+                    # the entry is dead now, and same-task wake targets
+                    # always sit ahead of the iterator (consumers follow
+                    # producers in seq order), so nothing behind new_pos
+                    # can come alive without resetting the whole memo
+                    if growing:
+                        new_pos += 1
+                elif direct_nt is not None:
+                    # registrations already made at the deny site
+                    entry_wake[seq] = direct_nt
+                    parked[seq] = 1
+                    if direct_nt < nt_plan:
+                        nt_plan = direct_nt
+                    if growing:
+                        if direct_nt >= far:
+                            # event-registered or far timed wake: absorbable
+                            new_pos += 1
+                            new_considered += 1
+                            if direct_nt < new_wake:
+                                new_wake = direct_nt
+                            new_last = seq
+                        else:
+                            growing = False
+                elif shared_hints:
+                    # ---- _park inline (no rollback on failure: earlier
+                    # registrations stay, exactly like the object path) ----
+                    nt = _INF
+                    park_ok = True
+                    for kind_h, arg in shared_hints:
+                        if kind_h == WAKE_TIME:
+                            if arg < nt:
+                                nt = arg
+                        elif kind_h == WAKE_ISSUE:
+                            if issued[arg]:
+                                park_ok = False
+                                break
+                            wake_on_issue_setdefault(arg, []).append((task_id, seq))
+                        elif kind_h == WAKE_RESOLVE:
+                            if arg not in unknown_set:
+                                park_ok = False
+                                break
+                            resolve_watchers_setdefault(arg, []).append(
+                                (task_id, seq)
+                            )
+                        elif kind_h == WAKE_ADDR_MIN:
+                            m = unknown_min()
+                            if m is None or m >= arg:
+                                park_ok = False
+                                break
+                            heappush(addr_watchers, (arg, task_id, seq))
+                        elif kind_h == WAKE_EXEC_MIN:
+                            m = unexecuted_min()
+                            if m is None or m >= arg:
+                                park_ok = False
+                                break
+                            heappush(exec_watchers, (arg, task_id, seq))
+                        elif kind_h == WAKE_COMMIT:
+                            if head > arg:
+                                park_ok = False
+                                break
+                            heappush(commit_watchers, (arg, task_id, seq))
+                    del shared_hints[:]
+                    if park_ok and nt > now:
+                        entry_wake[seq] = nt
+                        parked[seq] = 1
+                        if nt < nt_plan:
+                            nt_plan = nt
+                        if growing:
+                            if nt >= far:
+                                # event-registered or far timed wake: absorbable
+                                new_pos += 1
+                                new_considered += 1
+                                if nt < new_wake:
+                                    new_wake = nt
+                                new_last = seq
+                            else:
+                                growing = False
+                    else:
+                        unparked += 1
+                        growing = False
+                else:
+                    # the deny produced no wake condition; fall back to
+                    # per-cycle rescans for this entry
+                    unparked += 1
+                    growing = False
+            scan_pos[task_id] = new_pos
+            scan_considered[task_id] = new_considered
+            scan_wake[task_id] = new_wake
+            scan_last[task_id] = new_last
+            if issued_count:
+                live_left = task_live[task_id] - issued_count
+                task_live[task_id] = live_left
+                if len(unissued) - live_left >= 64 and live_left * 2 < len(unissued):
+                    # mostly dead: compact so later scans stay short
+                    task_unissued[task_id] = [s for s in unissued if not issued[s]]
+                    scan_pos[task_id] = 0
+                    scan_considered[task_id] = 0
+                    scan_wake[task_id] = _INF
+                    scan_last[task_id] = -1
+            if issued_count or resolved or unparked:
+                next_try[task_id] = now + 1
+            elif nt_plan < _INF:
+                next_try[task_id] = nt_plan if nt_plan > now else now + 1
+            else:
+                next_try[task_id] = _INF
+
+        # ---- commit (_try_commit) -----------------------------------
+        while head < n_tasks and remaining[head] == 0:
+            task_id = head
+            stats.committed_instructions += task_n_instr[task_id]
+            stats.committed_loads += task_n_loads[task_id]
+            stats.committed_stores += task_n_stores[task_id]
+            if pending_class:
+                breakdown = stats.breakdown
+                for seq in task_load_seqs[task_id]:
+                    bucket = pending_class.pop(seq, "nn")
+                    setattr(breakdown, bucket, getattr(breakdown, bucket) + 1)
+            else:
+                stats.breakdown.nn += task_n_loads[task_id]
+            stats.tasks_committed += 1
+            if stateful:
+                sim._head = head
+                sim._next_dispatch = next_dispatch
+                on_task_committed(task_id, now)
+            head += 1
+            sim._head = head
+            progressed = True
+            if commit_watchers:  # _fire_commit_watchers inline
+                while commit_watchers and commit_watchers[0][0] < head:
+                    _, t_id, s = heappop(commit_watchers)
+                    parked[s] = 0
+                    dirty[t_id] = True
+                    if s <= scan_last[t_id]:
+                        scan_pos[t_id] = 0
+                        scan_considered[t_id] = 0
+                        scan_wake[t_id] = _INF
+                        scan_last[t_id] = -1
+
+        if head >= n_tasks:
+            break
+        if progressed:
+            idle_cycles = 0
+            now += 1
+            continue
+        # ---- _next_event_time inline --------------------------------
+        candidates = []
+        while events:
+            time, seq, epoch = events[0]
+            if epoch != epochs[seq] or not issued[seq]:
+                heappop(events)
+                continue
+            candidates.append(time)
+            break
+        if next_dispatch < n_tasks and next_dispatch - head < stages:
+            ready = last_dispatch_time + dispatch_latency
+            if not pending_correct[next_dispatch]:
+                last_prev = tasks[next_dispatch - 1][-1]
+                resolve_t = done[last_prev]
+                if resolve_t is None or not issued[last_prev]:
+                    ready = None
+                else:
+                    alt = resolve_t + mispredict_penalty
+                    if alt > ready:
+                        ready = alt
+            if ready is not None:
+                candidates.append(ready)
+        for task_id in range(head, next_dispatch):
+            dt = dispatch_time[task_id]
+            if dt is not None and dt > now:
+                candidates.append(dt)
+            floor = issue_floor[task_id]
+            if floor > now and task_live[task_id]:
+                candidates.append(floor)
+        future = [c for c in candidates if c > now]
+        next_time = min(future) if future else None
+        if next_time is not None and next_time > now:
+            now = next_time
+            idle_cycles = 0
+        else:
+            now += 1
+            idle_cycles += 1
+            if idle_cycles > 100_000:
+                raise SimulationError(
+                    "no progress for %d cycles at t=%d (head task %d of %d)"
+                    % (idle_cycles, now, head, n_tasks)
+                )
+
+    # ---- finalise ----------------------------------------------------
+    sim._head = head
+    sim._next_dispatch = next_dispatch
+    sim._last_dispatch_time = last_dispatch_time
+    cache.hits += cache_hits
+    cache.misses += cache_misses
+    cache.bank_conflict_cycles += cache_conflicts
+    sequencer.predictions = total_predictions
+    sequencer.mispredictions = total_mispredictions
+    stats.cycles = now
+    stats.control_mispredictions = total_mispredictions
+    return stats

@@ -216,6 +216,24 @@ class MultiscalarSimulator:
     # ------------------------------------------------------------------
 
     def run(self) -> SpeculationStats:
+        """Run the simulation on the configured kernel.
+
+        ``config.kernel == "batched"`` selects the columnar kernel
+        (:mod:`repro.multiscalar.batched`) whenever it supports the run
+        (oracle register model, telemetry off); anything it cannot
+        reproduce bit-identically falls back to this object kernel
+        under ``config.scheduler``.  Results are bit-identical across
+        kernels — the differential harness in
+        ``tests/multiscalar/test_kernel_differential.py`` enforces it.
+        """
+        if self.config.kernel == "batched":
+            from repro.multiscalar import batched
+
+            if batched.supports(self):
+                return batched.run_batched(self)
+        return self._run_object()
+
+    def _run_object(self) -> SpeculationStats:
         cfg = self.config
         n = self.n
 

@@ -1,0 +1,205 @@
+"""Batched scheduling A/B contract: ``batch=True`` is pure scheduling.
+
+Grouping sweep cells that share one decoded trace onto a single worker
+must not change one bit of any payload or any cache key — the only
+legitimate effects are which process runs which cell and in what order.
+These tests pin that contract from three sides: the planner
+(``_plan`` / ``_group_key``), the execution paths (inline and pool,
+against ungrouped references), and the failure path (a FAILED cell
+inside a group is retried solo; a worker that dies hard takes only its
+group down, not the run).
+"""
+
+import json
+import os
+
+from repro.experiments.executor import (
+    FAILED,
+    OK,
+    Cell,
+    Executor,
+    _group_key,
+)
+from repro.experiments.sweeps import sweep
+
+
+# -- cell evaluators (top-level: must be picklable for the pool) -----------
+
+def payload_cell(spec):
+    """Deterministic pure function of the spec — any scheduling change
+    that leaks into the payload shows up as an A/B mismatch."""
+    params = dict(spec["params"])
+    return {
+        "name": spec["name"],
+        "workload": params.get("workload"),
+        "policy": params.get("policy"),
+    }
+
+
+def flaky_marked(spec):
+    """Fail the first attempt of cells whose params carry a marker path
+    (filesystem state, so it works across worker processes)."""
+    params = dict(spec["params"])
+    marker = params.get("marker")
+    if marker and not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempt 1\n")
+        raise RuntimeError("injected transient failure")
+    return {"name": spec["name"]}
+
+
+def hard_exit_marked(spec):
+    """Kill the worker process outright for cells marked crash=True."""
+    params = dict(spec["params"])
+    if params.get("crash"):
+        os._exit(13)
+    return {"name": spec["name"]}
+
+
+def grid_cells(workloads=("alpha", "beta"), policies=("always", "never"), **extra):
+    """A sweep-shaped grid: cells sharing a workload share a trace."""
+    cells = []
+    for workload in workloads:
+        for policy in policies:
+            cells.append(
+                Cell.make(
+                    "sweep",
+                    "%s/%s" % (workload, policy),
+                    workload=workload,
+                    policy=policy,
+                    scale="tiny",
+                    overrides=[],
+                    **extra,
+                )
+            )
+    return cells
+
+
+def payloads(report):
+    return [json.dumps(r.payload, sort_keys=True) for r in report.results]
+
+
+# -- the planner ------------------------------------------------------------
+
+def test_group_key_buckets_sweep_cells_by_workload_and_scale():
+    a1, a2, b1, _ = grid_cells()
+    assert _group_key(a1) == _group_key(a2) == ("alpha", "tiny")
+    assert _group_key(b1) == ("beta", "tiny")
+    assert _group_key(Cell.make("experiment", "table1", experiment="table1")) is None
+
+
+def test_plan_is_singletons_without_batch():
+    cells = grid_cells()
+    plan = Executor(batch=False)._plan(list(range(len(cells))), cells)
+    assert plan == [[0], [1], [2], [3]]
+
+
+def test_plan_groups_shared_traces_in_first_seen_order():
+    cells = grid_cells()  # alpha, alpha, beta, beta
+    cells.insert(2, Cell.make("experiment", "lone", experiment="table1"))
+    plan = Executor(batch=True)._plan(list(range(len(cells))), cells)
+    # alpha bucket opens first, the ungroupable cell stays a singleton
+    # at its position, beta bucket opens where its first cell appears
+    assert plan == [[0, 1], [2], [3, 4]]
+
+
+def test_plan_only_covers_pending_indices():
+    cells = grid_cells()
+    plan = Executor(batch=True)._plan([1, 3], cells)
+    assert plan == [[1], [3]]
+
+
+# -- bit-identity, inline and pool ------------------------------------------
+
+def test_batch_inline_payloads_identical_to_ungrouped():
+    cells = grid_cells()
+    plain = Executor(jobs=1, run_cell=payload_cell).run(cells)
+    batched = Executor(jobs=1, run_cell=payload_cell, batch=True).run(cells)
+    assert not [r for r in batched.results if not r.ok]
+    assert payloads(batched) == payloads(plain)
+
+
+def test_batch_pool_payloads_identical_to_ungrouped():
+    cells = grid_cells()
+    plain = Executor(jobs=2, run_cell=payload_cell).run(cells)
+    batched = Executor(jobs=2, run_cell=payload_cell, batch=True).run(cells)
+    assert not [r for r in batched.results if not r.ok]
+    assert payloads(batched) == payloads(plain)
+
+
+def test_batch_group_runs_on_one_worker():
+    cells = grid_cells()
+    report = Executor(jobs=2, run_cell=payload_cell, batch=True).run(cells)
+    workers = {}
+    for result in report.results:
+        workers.setdefault(result.cell.param("workload"), set()).add(result.worker)
+    # each group is one future, so all its cells share a process
+    assert all(len(pids) == 1 for pids in workers.values())
+
+
+def test_batch_cache_keys_unchanged(tmp_path):
+    """A cache warmed by a batched run serves an ungrouped run fully."""
+    cells = grid_cells()
+    cold = Executor(
+        jobs=2, run_cell=payload_cell, cache=tmp_path / "cache", batch=True
+    ).run(cells)
+    assert cold.counters()["cells_cached"] == 0
+    warm = Executor(
+        jobs=2, run_cell=payload_cell, cache=tmp_path / "cache", batch=False
+    ).run(cells)
+    assert warm.counters()["cells_run"] == 0
+    assert warm.counters()["cells_cached"] == len(cells)
+    assert payloads(warm) == payloads(cold)
+
+
+def test_sweep_batch_is_bit_identical_to_serial():
+    grid = dict(policies=("always", "esync"), scale="tiny")
+    serial = sweep(["sc", "xlisp"], **grid)
+    batched = sweep(["sc", "xlisp"], jobs=2, batch=True, **grid)
+    assert not batched.failed
+    assert batched.points == serial.points
+
+
+# -- failure semantics ------------------------------------------------------
+
+def test_failed_cell_in_group_retries_solo(tmp_path):
+    cells = grid_cells()
+    cells[1] = Cell.make(
+        "sweep",
+        "alpha/flaky",
+        workload="alpha",
+        policy="flaky",
+        scale="tiny",
+        overrides=[],
+        marker=str(tmp_path / "marker"),
+    )
+    report = Executor(jobs=2, run_cell=flaky_marked, retries=1, batch=True).run(cells)
+    assert [r.status for r in report.results] == [OK, OK, OK, OK]
+    assert report.retried == 1
+    by_name = {r.cell.name: r for r in report.results}
+    assert by_name["alpha/flaky"].attempts == 2
+    # siblings in the group succeeded on the first (grouped) attempt
+    assert by_name["alpha/always"].attempts == 1
+
+
+def test_hard_worker_death_fails_the_group_not_the_run():
+    # one group only, containing a cell that kills its worker process:
+    # every member degrades to FAILED instead of hanging or raising
+    cells = grid_cells(workloads=("alpha",))
+    cells.append(
+        Cell.make(
+            "sweep",
+            "alpha/crash",
+            workload="alpha",
+            policy="crash",
+            scale="tiny",
+            overrides=[],
+            crash=True,
+        )
+    )
+    report = Executor(jobs=2, run_cell=hard_exit_marked, retries=0, batch=True).run(
+        cells
+    )
+    assert len(report.results) == len(cells)
+    assert all(r.status == FAILED for r in report.results)
+    assert all("worker crashed" in r.error for r in report.results)
