@@ -1,0 +1,111 @@
+"""Adaptive (successive-halving) sweep vs exhaustive on the figure-7 grid.
+
+The perf claim under test: successive halving spends >=60% fewer
+full-scale cell-cycles than the exhaustive grid while picking the same
+top-1 configuration per workload.  The grid is the paper's design-space
+shape — synchronization policies x MDPT/MDST capacity x split
+structure x stage count — over SPECint95 workloads; the exhaustive
+sweep runs the same grid so "same winner" is checked against ground
+truth, not assumed.
+
+The measured record lands in BENCH_results.json under ``"adaptive"``
+and is gated by ``repro bench-report`` (savings floor 0.60, winners
+must match).
+"""
+
+import time
+
+from conftest import BENCH_SCALE
+
+from repro.experiments.adaptive import adaptive_sweep
+from repro.experiments.executor import source_fingerprint
+from repro.experiments.sweeps import make_sweep_cell, sweep
+
+WORKLOADS = ["compress95", "li"]
+
+#: 2 policies x 2 capacities x 2 MDST capacities x 2 stage counts = 16
+#: configurations per workload (eta=3 -> 3 rungs: 16 -> 6 -> 2)
+GRID = dict(
+    policies=("esync", "sync"),
+    overrides={"stages": [4, 8]},
+    policy_overrides={
+        "capacity": [16, 64],
+        "mdst_capacity": [16, 64],
+        "structure": ["split"],
+    },
+)
+
+
+def _full_scale_key(point):
+    cell = make_sweep_cell(
+        point.workload,
+        point.policy,
+        BENCH_SCALE,
+        overrides=point.overrides,
+        policy_overrides=point.policy_overrides,
+    )
+    return cell.key(source_fingerprint())
+
+
+def _config_of(point):
+    return (point.policy, tuple(point.overrides), tuple(point.policy_overrides))
+
+
+def test_adaptive_sweep_savings(benchmark, bench_record):
+    def run():
+        adaptive = adaptive_sweep(WORKLOADS, scale=BENCH_SCALE, eta=3, **GRID)
+        exhaustive = sweep(WORKLOADS, scale=BENCH_SCALE, **GRID)
+        return adaptive, exhaustive
+
+    start = time.perf_counter()
+    adaptive, exhaustive = benchmark.pedantic(run, rounds=1, iterations=1)
+    seconds = time.perf_counter() - start
+
+    assert not exhaustive.failed and not adaptive.result.failed
+    assert len(exhaustive.points) == 32
+    assert [r["cells"] for r in adaptive.rungs] == [32, 12, 4]
+
+    # same top-1 as exhaustive, under the same deterministic ranking
+    # (metric value, then full-scale cell key)
+    matches = {}
+    for workload in WORKLOADS:
+        candidates = [p for p in exhaustive.points if p.workload == workload]
+        truth = min(candidates, key=lambda p: (p.cycles, _full_scale_key(p)))
+        winner = adaptive.winners[workload]
+        matches[workload] = _config_of(winner) == _config_of(truth)
+        assert matches[workload], (
+            "adaptive winner %r != exhaustive best %r for %s"
+            % (_config_of(winner), _config_of(truth), workload)
+        )
+        # the winner's numbers are real full-scale results
+        assert winner.cycles == truth.cycles
+
+    # >=60% fewer full-scale cell units than the exhaustive grid
+    assert adaptive.exhaustive_units == 32.0
+    assert adaptive.savings >= 0.60, (
+        "adaptive spent %.2f of %.0f units (%.1f%% saved, need >=60%%)"
+        % (adaptive.adaptive_units, adaptive.exhaustive_units, 100 * adaptive.savings)
+    )
+
+    bench_record(
+        seconds,
+        adaptive={
+            "eta": adaptive.eta,
+            "metric": adaptive.metric,
+            "rungs": adaptive.rungs,
+            "adaptive_units": adaptive.adaptive_units,
+            "exhaustive_units": adaptive.exhaustive_units,
+            "savings": round(adaptive.savings, 4),
+            "top1_match": all(matches.values()),
+            "winners": {
+                w: {
+                    "policy": p.policy,
+                    "stages": p.override("stages"),
+                    "capacity": p.override("capacity"),
+                    "mdst_capacity": p.override("mdst_capacity"),
+                    "cycles": p.cycles,
+                }
+                for w, p in adaptive.winners.items()
+            },
+        },
+    )

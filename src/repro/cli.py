@@ -186,6 +186,26 @@ def _build_parser() -> argparse.ArgumentParser:
             "worker (each trace decoded exactly once per pool); pure "
             "scheduling — results and cache keys are unchanged",
         )
+        p.add_argument(
+            "--backend", choices=("local", "inline", "queue-dir"), default=None,
+            help="where cells run: 'local' process pool, 'inline' in "
+            "this process, or 'queue-dir' work-stealing over a shared "
+            "directory (see 'repro worker').  Default: $REPRO_EXECUTOR_BACKEND, "
+            "else local pool for --jobs > 1 and inline otherwise.  All "
+            "backends produce bit-identical results",
+        )
+        p.add_argument(
+            "--queue-dir", dest="queue_dir", metavar="DIR",
+            default=os.environ.get("REPRO_QUEUE_DIR") or None,
+            help="shared queue directory for --backend queue-dir "
+            "(created if missing; default: $REPRO_QUEUE_DIR)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="queue-dir only: spawn N local 'repro worker' "
+            "processes (default: --jobs).  0 spawns none — the sweep "
+            "is served entirely by externally launched workers",
+        )
 
     p_exp = sub.add_parser(
         "experiment", help="regenerate a paper table/figure",
@@ -222,11 +242,81 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sweep a MultiscalarConfig field over a value list, e.g. "
         "--override stages=4,8 (repeatable; the grid is the cross product)",
     )
+    p_sweep.add_argument(
+        "--policy-override", action="append", default=[], dest="policy_override",
+        metavar="KW=V1,V2,...",
+        help="sweep a make_policy() keyword over a value list, e.g. "
+        "--policy-override capacity=16,64 for the MDPT size or "
+        "mdst_capacity=16,64 with structure=split for the MDST size "
+        "(repeatable; crossed into the grid like --override)",
+    )
     p_sweep.add_argument("--scale", default="tiny")
+    p_sweep.add_argument(
+        "--adaptive", action="store_true",
+        help="successive halving instead of the exhaustive grid: every "
+        "config runs at scale/eta^(rungs-1), the top 1/eta per workload "
+        "promote one rung up, and only finalists run at --scale.  "
+        "Deterministic: rankings tie-break on the full-scale cell key, "
+        "so serial, parallel, and queue-dir runs are bit-identical",
+    )
+    p_sweep.add_argument(
+        "--eta", type=int, default=3, metavar="N",
+        help="adaptive halving factor: keep the top 1/N per rung "
+        "(default 3)",
+    )
+    p_sweep.add_argument(
+        "--metric", choices=("cycles", "ipc", "mis_speculations"),
+        default="cycles",
+        help="adaptive selection metric (default cycles; ipc is "
+        "maximized, the others minimized)",
+    )
+    p_sweep.add_argument(
+        "--rungs", type=int, default=None, metavar="N",
+        help="adaptive rung count (default: enough that at most eta "
+        "configs reach full scale)",
+    )
     add_kernel_flag(p_sweep)
     add_executor_flags(p_sweep)
     add_telemetry_flags(p_sweep)
     add_ledger_flag(p_sweep)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="work-stealing executor worker over a shared queue directory",
+        description="Claim and execute cell shards from a queue "
+        "directory written by 'repro sweep/experiment --backend "
+        "queue-dir' (any number of workers, same host or shared "
+        "storage).  Tasks are claimed with atomic lease files, a "
+        "heartbeat thread keeps the lease fresh, and results stream "
+        "back as JSONL the driver tails.  Exit codes: 0 drained/stopped, "
+        "2 usage error.",
+    )
+    p_worker.add_argument("queue_dir", help="the shared queue directory")
+    p_worker.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N", dest="max_tasks",
+        help="exit after executing N tasks (default: until stopped)",
+    )
+    p_worker.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        dest="idle_timeout",
+        help="exit after SECONDS with nothing claimable (default: wait "
+        "for the stop sentinel forever)",
+    )
+    p_worker.add_argument(
+        "--heartbeat", type=float, default=1.0, metavar="SECONDS",
+        help="lease heartbeat interval (default 1.0); drivers reclaim "
+        "leases quiet for longer than their --lease-timeout",
+    )
+    p_worker.add_argument(
+        "--poll", type=float, default=0.05, metavar="SECONDS",
+        help="poll interval while idle (default 0.05)",
+    )
+    p_worker.add_argument(
+        "--worker-id", default=None, dest="worker_id", metavar="ID",
+        help="stable worker name for the result stream and lease "
+        "records (default: pid + random suffix)",
+    )
+    add_kernel_flag(p_worker)
 
     p_prof = sub.add_parser(
         "profile", help="profile one workload end to end (wall clock)"
@@ -679,7 +769,48 @@ def _check_executor_usage(args) -> Optional[int]:
     if args.resume and not args.cache_dir:
         print("error: --resume requires --cache-dir", file=sys.stderr)
         return 2
+    backend = _resolved_backend_name(args)
+    if backend not in (None, "local", "inline", "queue-dir"):
+        print("error: unknown backend %r" % backend, file=sys.stderr)
+        return 2
+    if backend == "queue-dir" and not getattr(args, "queue_dir", None):
+        print("error: --backend queue-dir requires --queue-dir", file=sys.stderr)
+        return 2
+    if backend != "queue-dir":
+        if getattr(args, "queue_dir", None):
+            print("error: --queue-dir requires --backend queue-dir", file=sys.stderr)
+            return 2
+        if getattr(args, "workers", None) is not None:
+            print("error: --workers requires --backend queue-dir", file=sys.stderr)
+            return 2
     return None
+
+
+def _resolved_backend_name(args) -> Optional[str]:
+    """--backend, else $REPRO_EXECUTOR_BACKEND, else None (legacy pick)."""
+    name = getattr(args, "backend", None)
+    if name:
+        return name
+    env = os.environ.get("REPRO_EXECUTOR_BACKEND", "").strip()
+    return env or None
+
+
+def _make_backend(args, jobs):
+    """Build the ExecutorBackend instance the flags describe (or None
+    for the legacy jobs-based inline/pool pick)."""
+    name = _resolved_backend_name(args)
+    if name is None:
+        return None
+    if name == "queue-dir":
+        from repro.experiments.backends import QueueDirBackend
+
+        return QueueDirBackend(
+            args.queue_dir,
+            workers=args.workers if args.workers is not None else (jobs or 1),
+        )
+    from repro.experiments.backends import make_backend
+
+    return make_backend(name)
 
 
 def _executor_telemetry(args):
@@ -738,7 +869,8 @@ def _ledger_enabled(args) -> bool:
 
 
 def _record_run(args, kind, config, fingerprints=None, phases=None,
-                stats=None, executor=None, metrics=None, wall_seconds=None):
+                stats=None, executor=None, metrics=None, wall_seconds=None,
+                rungs=None):
     """Append one record to the run ledger when one is configured
     (``--ledger`` or ``$REPRO_LEDGER``); no-op otherwise."""
     from repro.telemetry import RunLedger, make_record, resolve_ledger_path
@@ -764,6 +896,7 @@ def _record_run(args, kind, config, fingerprints=None, phases=None,
         executor=executor,
         metrics=metrics,
         wall_seconds=wall_seconds,
+        rungs=rungs,
     )
     run_id = RunLedger(path).append(record)
     print("recorded run %s -> %s" % (run_id, path), file=sys.stderr)
@@ -939,6 +1072,9 @@ def cmd_sweep(args) -> int:
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     try:
         overrides = dict(_parse_override(text) for text in args.override)
+        policy_overrides = dict(
+            _parse_override(text) for text in args.policy_override
+        )
         for name in args.workloads:
             get_workload(name)  # fail fast on unknown workloads
     except Exception as exc:
@@ -947,22 +1083,53 @@ def cmd_sweep(args) -> int:
     start = time.time()
     metrics, trace = _executor_telemetry(args)
     jobs = _resolved_jobs(args)
+    backend = _make_backend(args, jobs)
     progress, progress_writer = _progress_sinks(args)
+    adaptive = None
     try:
-        result = sweep(
-            args.workloads,
-            policies=policies,
-            overrides=overrides,
-            scale=args.scale,
-            jobs=jobs or 1,
-            cache_dir=args.cache_dir,
-            timeout=args.timeout,
-            retries=args.retries,
-            metrics=metrics,
-            trace=trace,
-            progress=progress,
-            batch=args.batch,
-        )
+        if args.adaptive:
+            from repro.experiments.adaptive import adaptive_sweep
+
+            adaptive = adaptive_sweep(
+                args.workloads,
+                policies=policies,
+                overrides=overrides,
+                policy_overrides=policy_overrides,
+                scale=args.scale,
+                metric=args.metric,
+                eta=args.eta,
+                rungs=args.rungs,
+                jobs=jobs or 1,
+                cache_dir=args.cache_dir,
+                timeout=args.timeout,
+                retries=args.retries,
+                metrics=metrics,
+                trace=trace,
+                progress=progress,
+                batch=args.batch,
+                backend=backend,
+            )
+            result = adaptive.result
+        else:
+            result = sweep(
+                args.workloads,
+                policies=policies,
+                overrides=overrides,
+                policy_overrides=policy_overrides,
+                scale=args.scale,
+                jobs=jobs or 1,
+                cache_dir=args.cache_dir,
+                timeout=args.timeout,
+                retries=args.retries,
+                metrics=metrics,
+                trace=trace,
+                progress=progress,
+                batch=args.batch,
+                backend=backend,
+            )
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     finally:
         if progress_writer is not None:
             progress_writer.close()
@@ -972,24 +1139,41 @@ def cmd_sweep(args) -> int:
     if _ledger_enabled(args):
         from repro.experiments.sweeps import sweep_cells
 
+        config = {
+            "workloads": list(args.workloads),
+            "policies": policies,
+            "overrides": {k: list(v) for k, v in overrides.items()},
+            "scale": args.scale,
+            "kernel": active_kernel(),
+        }
+        if policy_overrides:
+            config["policy_overrides"] = {
+                k: list(v) for k, v in policy_overrides.items()
+            }
+        if adaptive is not None:
+            config["adaptive"] = {
+                "eta": adaptive.eta,
+                "metric": adaptive.metric,
+                "exhaustive_units": adaptive.exhaustive_units,
+                "adaptive_units": adaptive.adaptive_units,
+                "savings": round(adaptive.savings, 6),
+            }
         _record_run(
             args,
             "sweep",
-            config={
-                "workloads": list(args.workloads),
-                "policies": policies,
-                "overrides": {k: list(v) for k, v in overrides.items()},
-                "scale": args.scale,
-                "kernel": active_kernel(),
-            },
+            config=config,
             fingerprints=_cell_fingerprints(
-                sweep_cells(args.workloads, policies, overrides, args.scale)
+                sweep_cells(
+                    args.workloads, policies, overrides, args.scale,
+                    policy_overrides=policy_overrides,
+                )
             ),
             executor=report.counters() if report is not None else None,
             metrics=metrics.to_dict() if metrics is not None else None,
             wall_seconds=round(time.time() - start, 6),
+            rungs=adaptive.rungs if adaptive is not None else None,
         )
-    table = result.to_table()
+    table = adaptive.to_table() if adaptive is not None else result.to_table()
     if args.as_json:
         print(json.dumps(table.to_json(), indent=2))
     else:
@@ -998,6 +1182,32 @@ def cmd_sweep(args) -> int:
         for label, error in result.failed:
             print("FAILED cell %s: %s" % (label, error), file=sys.stderr)
         return 2
+    return 0
+
+
+def cmd_worker(args) -> int:
+    from repro.experiments.queuedir import run_worker
+
+    if args.max_tasks is not None and args.max_tasks < 0:
+        print("error: --max-tasks must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        stats = run_worker(
+            args.queue_dir,
+            worker_id=args.worker_id,
+            max_tasks=args.max_tasks,
+            idle_timeout=args.idle_timeout,
+            poll_interval=max(0.001, args.poll),
+            heartbeat_interval=max(0.01, args.heartbeat),
+        )
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print(
+        "worker %s: %d task(s), %d cell(s), %d failed"
+        % (stats["worker"], stats["tasks"], stats["cells"], stats["failed"]),
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -1629,6 +1839,19 @@ def _hotpath_of(results) -> Optional[dict]:
     return None
 
 
+def _adaptive_of(results) -> Optional[dict]:
+    """The adaptive-sweep record inside a benchmark results list."""
+    for record in results or []:
+        if isinstance(record, dict) and "adaptive" in record:
+            return record["adaptive"]
+    return None
+
+
+#: minimum fraction of full-scale cell units the adaptive sweep must
+#: save vs the exhaustive grid (the PR's measured claim, gated)
+ADAPTIVE_SAVINGS_FLOOR = 0.60
+
+
 def cmd_bench_report(args) -> int:
     """Benchmark trajectory + >25% hot-path regression check."""
     history = _read_bench_history(args.history)
@@ -1659,6 +1882,7 @@ def cmd_bench_report(args) -> int:
 
     hotpath = _hotpath_of(latest_results)
     regressions = []
+    drifts = []
     if hotpath is not None:
         for leg in ("warm", "cold", "batched"):
             measured = hotpath.get("%s_speedup" % leg)
@@ -1666,6 +1890,16 @@ def cmd_bench_report(args) -> int:
             if measured is None or reference is None:
                 continue
             floor = round(reference / tolerance, 2)
+            # drift is informational (signed % vs the pinned baseline);
+            # only falling below baseline/tolerance is a regression
+            drifts.append(
+                {
+                    "leg": leg,
+                    "measured": measured,
+                    "baseline": reference,
+                    "drift_pct": round(100.0 * (measured - reference) / reference, 1),
+                }
+            )
             if measured < floor:
                 regressions.append(
                     {
@@ -1675,6 +1909,28 @@ def cmd_bench_report(args) -> int:
                         "floor": floor,
                     }
                 )
+
+    adaptive = _adaptive_of(latest_results)
+    if adaptive is not None:
+        savings = adaptive.get("savings")
+        if savings is not None and savings < ADAPTIVE_SAVINGS_FLOOR:
+            regressions.append(
+                {
+                    "leg": "adaptive-savings",
+                    "measured": savings,
+                    "baseline": ADAPTIVE_SAVINGS_FLOOR,
+                    "floor": ADAPTIVE_SAVINGS_FLOOR,
+                }
+            )
+        if adaptive.get("top1_match") is False:
+            regressions.append(
+                {
+                    "leg": "adaptive-top1",
+                    "measured": False,
+                    "baseline": True,
+                    "floor": True,
+                }
+            )
 
     trajectory = []
     for entry in history:
@@ -1707,6 +1963,8 @@ def cmd_bench_report(args) -> int:
                     "hotpath": hotpath,
                     "baseline": baseline,
                     "tolerance": tolerance,
+                    "drift": drifts,
+                    "adaptive": adaptive,
                     "regressions": regressions,
                 },
                 indent=2,
@@ -1743,22 +2001,47 @@ def cmd_bench_report(args) -> int:
             )
     else:
         print("no benchmark history at %s" % args.history)
-    if hotpath is None:
+    if hotpath is None and adaptive is None:
         print("no hot-path record in the latest results; regression check skipped")
         return 0
-    print(
-        "hot path: warm %sx (baseline %sx), cold %sx (baseline %sx), "
-        "batched kernel %sx (baseline %sx), tolerance %sx"
-        % (
-            hotpath.get("warm_speedup", "?"),
-            baseline.get("warm_speedup", "?"),
-            hotpath.get("cold_speedup", "?"),
-            baseline.get("cold_speedup", "?"),
-            hotpath.get("batched_speedup", "?"),
-            baseline.get("batched_speedup", "?"),
-            tolerance,
+    if hotpath is not None:
+        print(
+            "hot path: warm %sx (baseline %sx), cold %sx (baseline %sx), "
+            "batched kernel %sx (baseline %sx), tolerance %sx"
+            % (
+                hotpath.get("warm_speedup", "?"),
+                baseline.get("warm_speedup", "?"),
+                hotpath.get("cold_speedup", "?"),
+                baseline.get("cold_speedup", "?"),
+                hotpath.get("batched_speedup", "?"),
+                baseline.get("batched_speedup", "?"),
+                tolerance,
+            )
         )
-    )
+        for drift in drifts:
+            print(
+                "drift: %s %+0.1f%% vs baseline (%sx measured, %sx pinned)"
+                % (
+                    drift["leg"],
+                    drift["drift_pct"],
+                    drift["measured"],
+                    drift["baseline"],
+                )
+            )
+    if adaptive is not None:
+        print(
+            "adaptive sweep: %.1f%% of full-scale units saved "
+            "(%.2f vs %.0f exhaustive, floor %.0f%%), top-1 %s"
+            % (
+                100.0 * (adaptive.get("savings") or 0.0),
+                adaptive.get("adaptive_units", 0.0),
+                adaptive.get("exhaustive_units", 0.0),
+                100.0 * ADAPTIVE_SAVINGS_FLOOR,
+                "matches exhaustive"
+                if adaptive.get("top1_match")
+                else "DIVERGES from exhaustive",
+            )
+        )
     if regressions:
         for reg in regressions:
             print(
@@ -1794,6 +2077,7 @@ def main(argv=None) -> int:
         "compare": cmd_compare,
         "experiment": cmd_experiment,
         "sweep": cmd_sweep,
+        "worker": cmd_worker,
         "profile": cmd_profile,
         "staticdep": cmd_staticdep,
         "lint": cmd_lint,

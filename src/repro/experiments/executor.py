@@ -49,7 +49,6 @@ import random
 import signal
 import tempfile
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
@@ -194,6 +193,28 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
 
+    # -- solo markers ------------------------------------------------------
+    #
+    # A cell that failed inside a multi-cell batch group is retried solo
+    # — and must *stay* solo on a future --resume, instead of re-forming
+    # the dead group around its surviving siblings.  The marker is a
+    # plain file keyed like the result itself, so it carries the same
+    # invalidation semantics (new fingerprint -> new key -> no marker).
+
+    def solo_path(self, key) -> Path:
+        return self.root / "solo" / (key + ".solo")
+
+    def mark_solo(self, key) -> None:
+        path = self.solo_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.touch()
+        except OSError:
+            pass  # advisory only: losing the marker costs a retry, not a result
+
+    def is_solo(self, key) -> bool:
+        return self.solo_path(key).exists()
+
 
 @dataclass
 class CellResult:
@@ -268,10 +289,12 @@ def _run_sweep_cell(params: dict) -> dict:
         _SWEEP_TRACES[memo_key] = get_workload(workload).trace(scale)
     trace = _SWEEP_TRACES[memo_key]
     overrides = [(k, v) for k, v in params.get("overrides", [])]
+    policy_overrides = [(k, v) for k, v in params.get("policy_overrides", [])]
     config = replace(MultiscalarConfig(), **dict(overrides))
-    sim = MultiscalarSimulator(trace, config, make_policy(params["policy"]))
+    policy = make_policy(params["policy"], **dict(policy_overrides))
+    sim = MultiscalarSimulator(trace, config, policy)
     stats = sim.run()
-    return {
+    payload = {
         "workload": workload,
         "policy": params["policy"],
         "overrides": [[k, v] for k, v in overrides],
@@ -279,6 +302,9 @@ def _run_sweep_cell(params: dict) -> dict:
         "ipc": stats.ipc,
         "mis_speculations": stats.mis_speculations,
     }
+    if policy_overrides:
+        payload["policy_overrides"] = [[k, v] for k, v in policy_overrides]
+    return payload
 
 
 def default_run_cell(spec: dict) -> dict:
@@ -436,6 +462,13 @@ class Executor:
             scheduling change: cache keys and payloads are identical
             to ``batch=False``, and a FAILED cell inside a group is
             retried solo.
+        backend: where cells physically run — an
+            :class:`~repro.experiments.backends.ExecutorBackend`
+            instance or a name (``"inline"``/``"local"``).  The default
+            (None) picks inline for ``jobs=1`` and the local process
+            pool otherwise, preserving historical behavior.  Backends
+            only schedule; caching, retries, validation, and payloads
+            are backend-independent, so every backend is bit-identical.
     """
 
     def __init__(
@@ -450,6 +483,7 @@ class Executor:
         prewarm: Optional[Callable[[], None]] = None,
         progress: Optional[Callable[[dict], None]] = None,
         batch: bool = False,
+        backend=None,
     ):
         self.jobs = max(1, int(jobs or 1))
         if cache is not None and not isinstance(cache, ResultCache):
@@ -463,7 +497,26 @@ class Executor:
         self.prewarm = prewarm
         self.progress = progress
         self.batch = bool(batch)
+        self.backend = backend
         self._tracker = None
+        self._warm_workloads: set = set()
+        self._cells: List[Cell] = []
+        self._keys: List[str] = []
+        self._results: List[Optional[CellResult]] = []
+
+    def _resolve_backend(self):
+        from repro.experiments.backends import (
+            ExecutorBackend,
+            InlineBackend,
+            LocalPoolBackend,
+            make_backend,
+        )
+
+        if self.backend is None:
+            return InlineBackend() if self.jobs == 1 else LocalPoolBackend()
+        if isinstance(self.backend, ExecutorBackend):
+            return self.backend
+        return make_backend(self.backend)
 
     def run(self, cells: Iterable[Cell]) -> RunReport:
         """Execute *cells*, returning results in input order."""
@@ -494,27 +547,40 @@ class Executor:
         if self.progress is not None:
             from repro.experiments.progress import ProgressTracker
 
+            # the first execution per workload pays trace generation
+            # (cold); the rest reuse the cached trace (warm) — tell the
+            # tracker the cold population so its blended ETA can weight
+            # the remaining warm/cold mix instead of chasing one EWMA
+            self._warm_workloads = {
+                self._cell_workload(cells[i])
+                for i in range(len(cells))
+                if results[i] is not None
+            } - {None}
+            cold_total = len(
+                {self._cell_workload(cells[i]) for i in pending}
+                - self._warm_workloads
+                - {None}
+            )
             self._tracker = ProgressTracker(
-                total=len(cells), cached=len(cells) - len(pending), jobs=self.jobs
+                total=len(cells),
+                cached=len(cells) - len(pending),
+                jobs=self.jobs,
+                cold_total=cold_total,
             )
             self.progress(self._tracker.start_event())
 
         retried = 0
         if pending:
-            if self.jobs == 1:
-                retried = self._run_inline(cells, keys, results, pending)
-            else:
-                if self.prewarm is not None:
-                    # warm shared state (trace caches) in the parent so
-                    # forked workers inherit it copy-on-write
-                    self.prewarm()
-                retried = self._run_pool(cells, keys, results, pending)
-
-        if self.cache is not None:
-            for index in pending:
-                result = results[index]
-                if result is not None and result.ok:
-                    self.cache.put(keys[index], cells[index], result.payload)
+            backend = self._resolve_backend()
+            if self.prewarm is not None and backend.forks:
+                # warm shared state (trace caches) in the parent so
+                # forked workers inherit it copy-on-write
+                self.prewarm()
+            self._cells, self._keys, self._results = cells, keys, results
+            try:
+                retried = backend.execute(self, self._plan(pending, cells, keys), cells, keys)
+            finally:
+                self._cells, self._keys, self._results = [], [], []
 
         report = RunReport(
             results=[r for r in results if r is not None],
@@ -533,8 +599,16 @@ class Executor:
     def _attempts_left(self, attempts) -> bool:
         return attempts <= self.retries
 
+    @staticmethod
+    def _cell_workload(cell: Cell):
+        return cell.param("workload")
+
     def _cell_progress(self, result: CellResult) -> None:
         if self._tracker is not None:
+            workload = self._cell_workload(result.cell)
+            warm = workload in self._warm_workloads if workload is not None else None
+            if workload is not None:
+                self._warm_workloads.add(workload)
             self.progress(
                 self._tracker.cell_event(
                     result.cell.label,
@@ -542,18 +616,27 @@ class Executor:
                     seconds=result.seconds,
                     attempts=result.attempts,
                     retried=result.attempts - 1,
+                    warm=warm,
                 )
             )
 
-    def _plan(self, pending, cells) -> List[List[int]]:
+    def _plan(self, pending, cells, keys=None) -> List[List[int]]:
         """Pending indices -> execution groups (singletons unless
-        ``batch`` groups cells sharing one decoded trace)."""
+        ``batch`` groups cells sharing one decoded trace).
+
+        Cells carrying a persistent solo marker (they failed inside a
+        group on an earlier run) are planned as singletons even under
+        ``batch``, so a resumed run does not re-form a dead group.
+        """
         if not self.batch:
             return [[index] for index in pending]
+        solo = set()
+        if keys is not None and self.cache is not None:
+            solo = {index for index in pending if self.cache.is_solo(keys[index])}
         buckets: Dict[object, List[int]] = {}
         order: List[List[int]] = []
         for index in pending:
-            gk = _group_key(cells[index])
+            gk = None if index in solo else _group_key(cells[index])
             if gk is None:
                 order.append([index])
                 continue
@@ -564,92 +647,26 @@ class Executor:
             bucket.append(index)
         return order
 
-    def _run_inline(self, cells, keys, results, pending) -> int:
-        # batch grouping only reorders execution (group members run
-        # back-to-back over the per-process trace memo); per-cell
-        # seeding keeps payloads identical in any order
-        retried = 0
-        for group in self._plan(pending, cells):
-            for index in group:
-                attempts = 0
-                while True:
-                    attempts += 1
-                    outcome = _validated(
-                        _worker(self.run_cell, cells[index].spec(), keys[index], self.timeout)
-                    )
-                    if outcome["status"] == OK or not self._attempts_left(attempts):
-                        break
-                    retried += 1
-                results[index] = self._to_result(cells[index], outcome, attempts)
-                self._cell_progress(results[index])
-        return retried
+    def _deliver(self, index: int, outcome: dict, attempts: int) -> CellResult:
+        """Record one cell's final outcome (backends' result channel).
 
-    def _run_pool(self, cells, keys, results, pending) -> int:
-        retried = 0
-        groups = self._plan(pending, cells)
-        with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(groups)), mp_context=_pool_context()
-        ) as pool:
-            inflight: Dict[object, Tuple[List[int], int]] = {}
+        Validation, the immediate cache write (the checkpoint for
+        ``--resume``), and the progress event all live here so no
+        backend can skip them.
+        """
+        outcome = _validated(outcome)
+        result = self._to_result(self._cells[index], outcome, attempts)
+        self._results[index] = result
+        if self.cache is not None and result.ok:
+            self.cache.put(self._keys[index], self._cells[index], result.payload)
+        self._cell_progress(result)
+        return result
 
-            def submit(indices, attempts):
-                if len(indices) == 1:
-                    future = pool.submit(
-                        _worker,
-                        self.run_cell,
-                        cells[indices[0]].spec(),
-                        keys[indices[0]],
-                        self.timeout,
-                    )
-                else:
-                    future = pool.submit(
-                        _batch_worker,
-                        self.run_cell,
-                        [cells[i].spec() for i in indices],
-                        [keys[i] for i in indices],
-                        self.timeout,
-                    )
-                inflight[future] = (indices, attempts)
-
-            for group in groups:
-                submit(group, 1)
-            while inflight:
-                done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
-                for future in done:
-                    indices, attempts = inflight.pop(future)
-                    try:
-                        raw = future.result()
-                        outcomes = raw if isinstance(raw, list) else [raw]
-                        if len(outcomes) != len(indices):
-                            raise RuntimeError(
-                                "batch returned %d outcomes for %d cells"
-                                % (len(outcomes), len(indices))
-                            )
-                    except Exception as exc:
-                        # a worker that died hard (BrokenProcessPool, ...)
-                        crash = {
-                            "pid": None,
-                            "started": time.time(),
-                            "finished": time.time(),
-                            "status": FAILED,
-                            "payload": None,
-                            "error": "worker crashed: %s: %s" % (type(exc).__name__, exc),
-                        }
-                        outcomes = [dict(crash) for _ in indices]
-                    for index, outcome in zip(indices, outcomes):
-                        outcome = _validated(outcome)
-                        if outcome["status"] != OK and self._attempts_left(attempts):
-                            retried += 1
-                            try:
-                                # retries run solo: a group-wide failure
-                                # (dead worker) must not respawn the group
-                                submit([index], attempts + 1)
-                                continue
-                            except Exception:
-                                pass  # pool unusable; record the failure
-                        results[index] = self._to_result(cells[index], outcome, attempts)
-                        self._cell_progress(results[index])
-        return retried
+    def _note_group_failure(self, index: int) -> None:
+        """A cell failed inside a multi-cell group: pin it solo for
+        this run's retries *and* for any future resume."""
+        if self.cache is not None:
+            self.cache.mark_solo(self._keys[index])
 
     @staticmethod
     def _to_result(cell, outcome, attempts) -> CellResult:

@@ -11,7 +11,20 @@ optional callback:
   ETA from an exponentially-weighted moving average of cell durations
   (recent cells dominate, so the estimate tracks grids whose cells get
   progressively heavier);
+* ``{"event": "rung", ...}`` — one per completed rung of an adaptive
+  (successive-halving) sweep: cell counts, scale, survivors, and the
+  per-workload leaders so a long search is legible while it narrows;
 * ``{"event": "done", ...}`` — once, with the final counters.
+
+ETA skew: the first cell per workload pays trace generation (cold);
+later cells reuse the cached trace (warm) and run much faster.  A
+single EWMA chases whichever population ran last — early in a sweep it
+extrapolates cold costs over mostly-warm remaining work and
+overshoots.  The tracker therefore keeps *separate* warm and cold
+EWMAs when the caller classifies cells (``cell_event(..., warm=...)``)
+and blends them over the expected remaining populations: remaining
+cold cells = distinct workloads not yet started (``cold_total``), the
+rest warm.  Unclassified cells fall back to the single combined EWMA.
 
 :class:`ProgressTracker` owns the counting and the EWMA; renderers
 consume the event dicts: :class:`AnsiRenderer` rewrites one status line
@@ -37,7 +50,14 @@ class ProgressTracker:
     roughly ``n * mean / jobs`` wall seconds.
     """
 
-    def __init__(self, total: int, cached: int = 0, jobs: int = 1, alpha: float = 0.3):
+    def __init__(
+        self,
+        total: int,
+        cached: int = 0,
+        jobs: int = 1,
+        alpha: float = 0.3,
+        cold_total: Optional[int] = None,
+    ):
         self.total = total
         self.cached = cached
         self.jobs = max(1, jobs)
@@ -46,6 +66,12 @@ class ProgressTracker:
         self.failed = 0
         self.retried = 0
         self.ewma_seconds: Optional[float] = None
+        #: expected number of cold cells (first execution per workload)
+        self.cold_total = cold_total
+        self.warm_ewma: Optional[float] = None
+        self.cold_ewma: Optional[float] = None
+        self.warm_seen = 0
+        self.cold_seen = 0
 
     @property
     def remaining(self) -> int:
@@ -53,7 +79,20 @@ class ProgressTracker:
 
     @property
     def eta_seconds(self) -> Optional[float]:
-        """Estimated wall seconds to finish, None before any sample."""
+        """Estimated wall seconds to finish, None before any sample.
+
+        With both a warm and a cold sample, the estimate blends the two
+        EWMAs over the expected remaining populations; otherwise it
+        falls back to the single combined EWMA.
+        """
+        if self.warm_ewma is not None and self.cold_ewma is not None:
+            cold_left = self.remaining
+            if self.cold_total is not None:
+                cold_left = max(0, self.cold_total - self.cold_seen)
+                cold_left = min(cold_left, self.remaining)
+            warm_left = self.remaining - cold_left
+            blended = cold_left * self.cold_ewma + warm_left * self.warm_ewma
+            return round(blended / self.jobs, 3)
         if self.ewma_seconds is None:
             return None
         return round(self.ewma_seconds * self.remaining / self.jobs, 3)
@@ -67,9 +106,21 @@ class ProgressTracker:
         }
 
     def cell_event(
-        self, label: str, ok: bool, seconds: float, attempts: int = 1, retried: int = 0
+        self,
+        label: str,
+        ok: bool,
+        seconds: float,
+        attempts: int = 1,
+        retried: int = 0,
+        warm: Optional[bool] = None,
     ) -> dict:
-        """Account one completed cell and return its progress event."""
+        """Account one completed cell and return its progress event.
+
+        *warm* classifies the cell for the blended ETA: True when the
+        workload's trace was already hot (an earlier cell completed on
+        it this run), False for a first execution, None when the caller
+        cannot tell (single-EWMA fallback).
+        """
         self.done += 1
         if not ok:
             self.failed += 1
@@ -78,7 +129,19 @@ class ProgressTracker:
             self.ewma_seconds = seconds
         else:
             self.ewma_seconds += self.alpha * (seconds - self.ewma_seconds)
-        return {
+        if warm is True:
+            self.warm_seen += 1
+            if self.warm_ewma is None:
+                self.warm_ewma = seconds
+            else:
+                self.warm_ewma += self.alpha * (seconds - self.warm_ewma)
+        elif warm is False:
+            self.cold_seen += 1
+            if self.cold_ewma is None:
+                self.cold_ewma = seconds
+            else:
+                self.cold_ewma += self.alpha * (seconds - self.cold_ewma)
+        event = {
             "event": "cell",
             "label": label,
             "status": "ok" if ok else "failed",
@@ -91,6 +154,9 @@ class ProgressTracker:
             "retried": self.retried,
             "eta_seconds": self.eta_seconds,
         }
+        if warm is not None:
+            event["warm"] = warm
+        return event
 
     def done_event(self, wall_seconds: float) -> dict:
         return {
@@ -135,6 +201,19 @@ def _format_event(event: dict) -> str:
             event["seconds"],
             extra,
             _format_eta(event["eta_seconds"]),
+        )
+    if kind == "rung":
+        leaders = ", ".join(
+            "%s=%s" % (workload, policy) for workload, policy, _ in event.get("best", [])
+        )
+        return "rung %d/%d: %d cell(s) at scale %s, kept %d (%s units)%s" % (
+            event["rung"],
+            event["rungs"],
+            event["cells"],
+            event["scale"],
+            event["kept"],
+            event["units"],
+            (" — leading: " + leaders) if leaders else "",
         )
     if kind == "done":
         return "sweep: %d/%d done, %d failed, %d cached, %d retried in %.2fs" % (

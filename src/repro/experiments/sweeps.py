@@ -29,9 +29,13 @@ class SweepPoint:
     cycles: int
     ipc: float
     mis_speculations: int
+    policy_overrides: Tuple[Tuple[str, object], ...] = ()
 
     def override(self, key, default=None):
-        return dict(self.overrides).get(key, default)
+        """Config override, falling back to policy overrides."""
+        merged = dict(self.overrides)
+        merged.update(self.policy_overrides)
+        return merged.get(key, default)
 
 
 @dataclass
@@ -74,6 +78,7 @@ class SweepResult:
     def to_table(self, title="parameter sweep") -> ExperimentTable:
         override_keys = sorted(
             {key for point in self.points for key, _ in point.overrides}
+            | {key for point in self.points for key, _ in point.policy_overrides}
         )
         table = ExperimentTable(
             "sweep",
@@ -93,42 +98,85 @@ class SweepResult:
         return table
 
 
+def make_sweep_cell(
+    workload: str,
+    policy: str,
+    scale,
+    overrides: Sequence[Tuple[str, object]] = (),
+    policy_overrides: Sequence[Tuple[str, object]] = (),
+):
+    """One sweep cell.  ``policy_overrides`` (keyword arguments for
+    :func:`~repro.multiscalar.make_policy`, e.g. MDPT/MDST capacities)
+    are omitted from the spec when empty so cache keys of plain sweeps
+    are unchanged from earlier releases."""
+    from repro.experiments.executor import Cell
+
+    params = dict(
+        workload=workload,
+        policy=policy,
+        scale=scale,
+        overrides=[[k, v] for k, v in overrides],
+    )
+    if policy_overrides:
+        params["policy_overrides"] = [[k, v] for k, v in policy_overrides]
+    return Cell.make("sweep", "%s/%s" % (workload, policy), **params)
+
+
+def point_from_payload(payload: dict) -> SweepPoint:
+    """Rebuild a :class:`SweepPoint` from an executor cell payload."""
+    return SweepPoint(
+        workload=payload["workload"],
+        policy=payload["policy"],
+        overrides=tuple((k, v) for k, v in payload["overrides"]),
+        cycles=payload["cycles"],
+        ipc=payload["ipc"],
+        mis_speculations=payload["mis_speculations"],
+        policy_overrides=tuple((k, v) for k, v in payload.get("policy_overrides", [])),
+    )
+
+
 def sweep_cells(
     workloads: Sequence[str],
     policies: Sequence[str] = ("always", "esync", "psync"),
     overrides: Optional[Dict[str, Sequence[object]]] = None,
     scale="tiny",
+    policy_overrides: Optional[Dict[str, Sequence[object]]] = None,
 ):
     """The sweep grid as executor cells, in serial iteration order."""
-    from repro.experiments.executor import Cell
-
     overrides = overrides or {}
     keys = sorted(overrides)
     combos = list(itertools.product(*(overrides[k] for k in keys))) or [()]
+    pkeys = sorted(policy_overrides or {})
+    pcombos = list(
+        itertools.product(*((policy_overrides or {})[k] for k in pkeys))
+    ) or [()]
     cells = []
     for name in workloads:
         for combo in combos:
-            for policy_name in policies:
-                cells.append(
-                    Cell.make(
-                        "sweep",
-                        "%s/%s" % (name, policy_name),
-                        workload=name,
-                        policy=policy_name,
-                        scale=scale,
-                        overrides=[[k, v] for k, v in zip(keys, combo)],
+            for pcombo in pcombos:
+                for policy_name in policies:
+                    cells.append(
+                        make_sweep_cell(
+                            name,
+                            policy_name,
+                            scale,
+                            overrides=list(zip(keys, combo)),
+                            policy_overrides=list(zip(pkeys, pcombo)),
+                        )
                     )
-                )
     return cells
 
 
 def _sweep_parallel(
     workloads, policies, overrides, scale, jobs, cache_dir, timeout, retries,
-    metrics=None, trace=None, progress=None, batch=False,
+    metrics=None, trace=None, progress=None, batch=False, backend=None,
+    policy_overrides=None,
 ) -> SweepResult:
     from repro.experiments.executor import Executor
 
-    cells = sweep_cells(workloads, policies, overrides, scale)
+    cells = sweep_cells(
+        workloads, policies, overrides, scale, policy_overrides=policy_overrides
+    )
     executor = Executor(
         jobs=jobs or 1,
         cache=cache_dir,
@@ -138,6 +186,7 @@ def _sweep_parallel(
         trace=trace,
         progress=progress,
         batch=batch,
+        backend=backend,
     )
     report = executor.run(cells)
     result = SweepResult()
@@ -147,17 +196,7 @@ def _sweep_parallel(
                 (cell_result.cell.label, cell_result.error or "unknown error")
             )
             continue
-        payload = cell_result.payload
-        result.points.append(
-            SweepPoint(
-                workload=payload["workload"],
-                policy=payload["policy"],
-                overrides=tuple((k, v) for k, v in payload["overrides"]),
-                cycles=payload["cycles"],
-                ipc=payload["ipc"],
-                mis_speculations=payload["mis_speculations"],
-            )
-        )
+        result.points.append(point_from_payload(cell_result.payload))
     result.report = report  # type: ignore[attr-defined]
     return result
 
@@ -177,11 +216,16 @@ def sweep(
     trace=None,
     progress=None,
     batch: bool = False,
+    backend=None,
+    policy_overrides: Optional[Dict[str, Sequence[object]]] = None,
 ) -> SweepResult:
     """Run the full cross product and return a :class:`SweepResult`.
 
     *overrides* maps :class:`MultiscalarConfig` field names to value
-    lists, e.g. ``{"stages": (4, 8), "squash_penalty": (2, 4, 8)}``.
+    lists, e.g. ``{"stages": (4, 8), "squash_penalty": (2, 4, 8)}``;
+    *policy_overrides* maps :func:`~repro.multiscalar.make_policy`
+    keyword arguments to value lists (e.g. ``{"capacity": (16, 64)}``
+    for the MDPT size), crossed into the grid the same way.
     Pass *traces* (name -> Trace) to reuse interpreted traces.
 
     Pass ``jobs`` and/or ``cache_dir`` to route the grid through the
@@ -196,7 +240,7 @@ def sweep(
     indexed once per group — a pure scheduling change, results and
     cache keys are unchanged.
     """
-    if jobs is not None or cache_dir is not None:
+    if jobs is not None or cache_dir is not None or backend is not None:
         if base_config is not None or traces is not None:
             raise ValueError(
                 "parallel sweep supports the default base config only "
@@ -206,7 +250,7 @@ def sweep(
         return _sweep_parallel(
             workloads, policies, overrides, scale, jobs, cache_dir,
             timeout, retries, metrics=metrics, trace=trace, progress=progress,
-            batch=batch,
+            batch=batch, backend=backend, policy_overrides=policy_overrides,
         )
     overrides = overrides or {}
     base = base_config or MultiscalarConfig()
@@ -218,24 +262,30 @@ def sweep(
 
     keys = sorted(overrides)
     combos = list(itertools.product(*(overrides[k] for k in keys))) or [()]
+    pkeys = sorted(policy_overrides or {})
+    pcombos = list(
+        itertools.product(*((policy_overrides or {})[k] for k in pkeys))
+    ) or [()]
     result = SweepResult()
     for name in workloads:
         for combo in combos:
             config = replace(base, **dict(zip(keys, combo)))
-            for policy_name in policies:
-                sim = MultiscalarSimulator(
-                    traces[name], config, make_policy(policy_name)
-                )
-                with PROFILER.scope("simulate"):
-                    stats = sim.run()
-                result.points.append(
-                    SweepPoint(
-                        workload=name,
-                        policy=policy_name,
-                        overrides=tuple(zip(keys, combo)),
-                        cycles=stats.cycles,
-                        ipc=stats.ipc,
-                        mis_speculations=stats.mis_speculations,
+            for pcombo in pcombos:
+                for policy_name in policies:
+                    sim = MultiscalarSimulator(
+                        traces[name], config, make_policy(policy_name, **dict(zip(pkeys, pcombo)))
                     )
-                )
+                    with PROFILER.scope("simulate"):
+                        stats = sim.run()
+                    result.points.append(
+                        SweepPoint(
+                            workload=name,
+                            policy=policy_name,
+                            overrides=tuple(zip(keys, combo)),
+                            cycles=stats.cycles,
+                            ipc=stats.ipc,
+                            mis_speculations=stats.mis_speculations,
+                            policy_overrides=tuple(zip(pkeys, pcombo)),
+                        )
+                    )
     return result

@@ -68,10 +68,17 @@ def make_record(
     executor: Optional[dict] = None,
     metrics: Optional[dict] = None,
     wall_seconds: Optional[float] = None,
+    rungs: Optional[List[dict]] = None,
 ) -> dict:
     """One ledger record; ``id`` is the SHA-256 of the content (record
     minus the id field), so identical re-runs at different times get
-    distinct ids (the timestamp is part of the content)."""
+    distinct ids (the timestamp is part of the content).
+
+    *rungs* is the per-rung record of an adaptive (successive-halving)
+    sweep — scale, cell count, survivors, and full-scale cost units per
+    rung — so the ledger shows how the search narrowed, not just what
+    won.  Plain exhaustive runs omit the field.
+    """
     if metrics is not None:
         # occupancy trajectories can dominate the record; the ledger
         # keeps the queryable aggregate, --metrics keeps everything
@@ -89,6 +96,8 @@ def make_record(
         "metrics": metrics,
         "wall_seconds": wall_seconds,
     }
+    if rungs is not None:
+        record["rungs"] = list(rungs)
     record["id"] = hashlib.sha256(_canonical(record).encode()).hexdigest()[:12]
     return record
 

@@ -19,6 +19,7 @@ from repro.experiments.executor import (
     Cell,
     Executor,
     _group_key,
+    source_fingerprint,
 )
 from repro.experiments.sweeps import sweep
 
@@ -180,6 +181,44 @@ def test_failed_cell_in_group_retries_solo(tmp_path):
     assert by_name["alpha/flaky"].attempts == 2
     # siblings in the group succeeded on the first (grouped) attempt
     assert by_name["alpha/always"].attempts == 1
+
+
+def test_batch_resume_replans_group_failures_as_singletons(tmp_path):
+    """Pinned regression: a cell that failed inside a batch group used
+    to re-enter the planner *grouped* on ``--resume`` — re-forming the
+    dead group and failing the same way.  The persistent solo marker
+    written by the group-failure path must survive into the next run
+    and keep each such cell a singleton."""
+    cache = tmp_path / "cache"
+
+    def cell_for(policy, marker=None):
+        params = dict(workload="alpha", policy=policy, scale="tiny", overrides=[])
+        if marker is not None:
+            params["marker"] = str(marker)
+        return Cell.make("sweep", "alpha/%s" % policy, **params)
+
+    cells = [
+        cell_for("always"),
+        cell_for("flaky1", tmp_path / "m1"),
+        cell_for("flaky2", tmp_path / "m2"),
+    ]
+    first = Executor(
+        jobs=2, run_cell=flaky_marked, retries=0, batch=True, cache=cache
+    ).run(cells)
+    assert [r.status for r in first.results] == [OK, FAILED, FAILED]
+
+    # resume: the survivor is cached, the two failures are pending —
+    # without the solo markers batch planning would re-group them
+    resumed = Executor(
+        jobs=2, run_cell=flaky_marked, retries=0, batch=True, cache=cache
+    )
+    keys = [cell.key(source_fingerprint()) for cell in cells]
+    assert resumed._plan([1, 2], cells, keys) == [[1], [2]]
+
+    report = resumed.run(cells)
+    assert [r.status for r in report.results] == [OK, OK, OK]
+    by_name = {r.cell.name: r for r in report.results}
+    assert by_name["alpha/always"].cached
 
 
 def test_hard_worker_death_fails_the_group_not_the_run():

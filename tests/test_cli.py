@@ -515,6 +515,84 @@ def test_sweep_unknown_workload_exits_two(capsys):
     assert "error:" in capsys.readouterr().err
 
 
+def test_sweep_policy_override_axis(capsys):
+    assert main(["sweep", "sc", "--policies", "esync",
+                 "--override", "stages=4",
+                 "--policy-override", "capacity=16,64",
+                 "--scale", "tiny", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["rows"]) == 2
+    assert "capacity" in payload["columns"]
+
+
+def test_sweep_adaptive_json_ledger_and_progress(capsys, tmp_path):
+    ledger = tmp_path / "ledger.jsonl"
+    rungs_jsonl = tmp_path / "rungs.jsonl"
+    assert main(["sweep", "sc", "xlisp", "--policies", "always,esync",
+                 "--override", "stages=2,4", "--scale", "tiny",
+                 "--adaptive", "--eta", "2", "--json",
+                 "--ledger", str(ledger),
+                 "--progress-json", str(rungs_jsonl)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "successive halving" in payload["title"]
+    assert any(note.startswith("winner ") for note in payload["notes"])
+    record = json.loads(ledger.read_text().splitlines()[0])
+    assert record["config"]["adaptive"]["eta"] == 2
+    assert [r["rung"] for r in record["rungs"]] == [1, 2]
+    events = [json.loads(line) for line in rungs_jsonl.read_text().splitlines()]
+    rung_events = [e for e in events if e["event"] == "rung"]
+    assert [e["rung"] for e in rung_events] == [1, 2]
+    assert all(e["best"] for e in rung_events)
+
+
+def test_sweep_adaptive_queue_dir_matches_local_pool(capsys, tmp_path):
+    """The CI smoke contract: an adaptive sweep over the queue-dir
+    backend is bit-identical to the same sweep on the process pool."""
+    argv = ["sweep", "sc", "--policies", "always,esync",
+            "--override", "stages=2,4", "--scale", "tiny",
+            "--adaptive", "--eta", "2", "--jobs", "2", "--json"]
+    assert main(argv) == 0
+    pooled = capsys.readouterr().out
+    assert main(argv + ["--backend", "queue-dir",
+                        "--queue-dir", str(tmp_path / "q"),
+                        "--workers", "2"]) == 0
+    stolen = capsys.readouterr().out
+    assert stolen == pooled
+
+
+def test_sweep_adaptive_bad_metric_exits_two(capsys):
+    assert main(["sweep", "sc", "--scale", "tiny",
+                 "--adaptive", "--metric", "cycles", "--eta", "1"]) == 2
+    assert "eta" in capsys.readouterr().err
+
+
+def test_sweep_queue_dir_flags_validated(capsys):
+    assert main(["sweep", "sc", "--backend", "queue-dir"]) == 2
+    assert "--queue-dir" in capsys.readouterr().err
+    assert main(["sweep", "sc", "--queue-dir", "/tmp/q"]) == 2
+    assert "--backend queue-dir" in capsys.readouterr().err
+    assert main(["sweep", "sc", "--workers", "2"]) == 2
+    assert "--workers" in capsys.readouterr().err
+
+
+def test_worker_command_drains_queue(capsys, tmp_path):
+    from tests.experiments.test_queuedir import make_task
+
+    from repro.experiments.queuedir import QueueDir
+
+    queue = QueueDir(tmp_path / "q").init()
+    queue.enqueue(make_task())
+    assert main(["worker", str(tmp_path / "q"), "--max-tasks", "1"]) == 0
+    err = capsys.readouterr().err
+    assert "1 task(s), 1 cell(s), 0 failed" in err
+    assert queue.is_done("run-t000000")
+
+
+def test_worker_rejects_negative_max_tasks(capsys):
+    assert main(["worker", "/tmp/q", "--max-tasks", "-1"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
 # -- observability: run ledger, explain, metrics-serve, bench-report ------
 
 
@@ -648,7 +726,7 @@ def test_metrics_serve_missing_snapshot_exits_two(capsys, tmp_path):
     assert "error:" in capsys.readouterr().err
 
 
-def _write_bench_data(tmp_path, warm=3.5, cold=3.5):
+def _write_bench_data(tmp_path, warm=3.5, cold=3.5, adaptive=None):
     history = tmp_path / "BENCH_history.jsonl"
     results = tmp_path / "BENCH_results.json"
     record = {
@@ -656,7 +734,14 @@ def _write_bench_data(tmp_path, warm=3.5, cold=3.5):
         "seconds": 9.0,
         "hotpath": {"warm_speedup": warm, "cold_speedup": cold},
     }
-    payload = {"scale": "test", "results": [record]}
+    records = [record]
+    if adaptive is not None:
+        records.append({
+            "test": "benchmarks/test_adaptive_sweep.py::test_adaptive_sweep_savings",
+            "seconds": 12.0,
+            "adaptive": adaptive,
+        })
+    payload = {"scale": "test", "results": records}
     results.write_text(json.dumps(payload))
     history.write_text(
         json.dumps({"git_sha": "abc1234", "time": 1700000000.0,
@@ -691,6 +776,46 @@ def test_bench_report_json_output(capsys, tmp_path):
     payload = json.loads(capsys.readouterr().out)
     assert payload["regressions"][0]["leg"] == "warm"
     assert payload["history"][0]["git_sha"] == "abc1234"
+
+
+def test_bench_report_prints_drift_per_leg(capsys, tmp_path):
+    history, results = _write_bench_data(tmp_path, warm=3.6, cold=3.5)
+    assert main(["bench-report", "--history", history,
+                 "--results", results]) == 0
+    out = capsys.readouterr().out
+    # 3.6 vs pinned 3.47 -> +3.7%
+    assert "drift: warm +3.7%" in out
+    assert "drift: cold" in out
+
+
+def test_bench_report_adaptive_clean(capsys, tmp_path):
+    history, results = _write_bench_data(
+        tmp_path, adaptive={"savings": 0.64, "top1_match": True,
+                            "adaptive_units": 11.6, "exhaustive_units": 32.0})
+    assert main(["bench-report", "--history", history,
+                 "--results", results]) == 0
+    out = capsys.readouterr().out
+    assert "adaptive sweep: 64.0% of full-scale units saved" in out
+    assert "top-1 matches exhaustive" in out
+
+
+def test_bench_report_adaptive_savings_below_floor(capsys, tmp_path):
+    history, results = _write_bench_data(
+        tmp_path, adaptive={"savings": 0.40, "top1_match": True,
+                            "adaptive_units": 19.2, "exhaustive_units": 32.0})
+    assert main(["bench-report", "--history", history,
+                 "--results", results, "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [r["leg"] for r in payload["regressions"]] == ["adaptive-savings"]
+
+
+def test_bench_report_adaptive_top1_mismatch(capsys, tmp_path):
+    history, results = _write_bench_data(
+        tmp_path, adaptive={"savings": 0.64, "top1_match": False,
+                            "adaptive_units": 11.6, "exhaustive_units": 32.0})
+    assert main(["bench-report", "--history", history,
+                 "--results", results]) == 1
+    assert "adaptive-top1" in capsys.readouterr().err
 
 
 def test_bench_report_no_data_exits_two(capsys, tmp_path):
